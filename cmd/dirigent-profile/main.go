@@ -1,0 +1,63 @@
+// Command dirigent-profile runs Dirigent's offline execution profiler
+// (§4.1) for a foreground benchmark on the simulated machine and writes the
+// profile as JSON.
+//
+// Usage:
+//
+//	dirigent-profile -bench ferret [-period 5ms] [-o ferret.profile.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dirigent/internal/core"
+	"dirigent/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "foreground benchmark to profile (required); one of: bodytrack, ferret, fluidanimate, raytrace, streamcluster")
+	period := flag.Duration("period", core.DefaultSamplePeriod, "sampling period ΔT")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "dirigent-profile: -bench is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	b, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := core.ProfileBenchmark(b, core.ProfilerOptions{SamplePeriod: *period})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if _, err := profile.WriteTo(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "profiled %s: %d segments, %.3fs standalone, %.3g instructions\n",
+		profile.Benchmark, len(profile.Segments),
+		profile.TotalDuration().Seconds(), profile.TotalProgress())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dirigent-profile:", err)
+	os.Exit(1)
+}

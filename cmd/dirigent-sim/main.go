@@ -1,0 +1,100 @@
+// Command dirigent-sim runs one workload mix under one of the five
+// evaluated configurations and reports per-execution times and summary
+// statistics.
+//
+// Usage:
+//
+//	dirigent-sim -fg ferret -bg rs,rs,rs,rs,rs -config Dirigent -executions 60
+//	dirigent-sim -fg streamcluster,streamcluster -bg lbm+namd,lbm+namd,lbm+namd,lbm+namd -config DirigentFreq
+//
+// The deadline defaults to the paper's rule (µ+0.3σ of a Baseline pass run
+// first); pass -target to override with an explicit per-execution latency
+// target in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dirigent/internal/config"
+	"dirigent/internal/experiment"
+)
+
+func main() {
+	fg := flag.String("fg", "ferret", "comma-separated FG benchmarks")
+	bg := flag.String("bg", "rs,rs,rs,rs,rs", "comma-separated BG specs (a single name or a+b rotate pair)")
+	cfgName := flag.String("config", "Dirigent", "configuration: Baseline, StaticFreq, StaticBoth, DirigentFreq, Dirigent")
+	executions := flag.Int("executions", 60, "FG executions per run")
+	verbose := flag.Bool("v", false, "print every execution time")
+	flag.Parse()
+
+	mix := experiment.Mix{
+		Name: strings.ReplaceAll(*fg+" "+*bg, ",", " "),
+		FG:   splitList(*fg),
+		BG:   splitList(*bg),
+	}
+	if err := mix.Validate(); err != nil {
+		fatal(err)
+	}
+	want, err := config.ByName(config.Name(*cfgName))
+	if err != nil {
+		fatal(err)
+	}
+
+	r := experiment.NewRunner()
+	r.Executions = *executions
+	res, err := r.RunMix(mix)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("mix %s, deadline(s): %v\n\n", mix.Name, res.Deadlines)
+	for _, c := range config.Names() {
+		run := res.ByConfig[c]
+		marker := " "
+		if c == want.Name {
+			marker = "*"
+		}
+		fmt.Printf("%s %-13s FG success %.3f  rel BG throughput %.3f  rel std %.3f",
+			marker, c, run.MeanSuccessRate(), res.RelBGThroughput(c), res.RelStd(c))
+		if run.FGWays > 0 {
+			fmt.Printf("  FG ways %d", run.FGWays)
+		}
+		if run.StaticBGLevel >= 0 {
+			fmt.Printf("  BG level %d", run.StaticBGLevel)
+		}
+		fmt.Println()
+		for _, s := range run.Streams {
+			fmt.Printf("    %-14s %s  success %.3f\n", s.Bench, s.Summary, s.SuccessRate)
+		}
+	}
+
+	if *verbose {
+		run := res.ByConfig[want.Name]
+		fmt.Printf("\nper-execution times under %s:\n", want.Name)
+		for i, s := range run.Streams {
+			fmt.Printf("  stream %d (%s):", i, s.Bench)
+			for _, d := range s.Durations {
+				fmt.Printf(" %.3f", d)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dirigent-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// Multi-tenant node: two concurrent latency-critical services share a node
+// with rotating batch jobs (§5.4's multiple-FG scenario, Fig. 9c).
+//
+// Two FG streams (fluidanimate and raytrace) run alongside four rotate-BG
+// workers that randomly switch between lbm and namd each time a foreground
+// task completes — the paper's model of collocated-job context switches.
+// The example compares the unmanaged baseline, a static-throttling policy,
+// and full Dirigent.
+//
+// Run with:
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dirigent"
+)
+
+const executions = 50
+
+func main() {
+	fgs := []*dirigent.Benchmark{
+		mustBench("fluidanimate"),
+		mustBench("raytrace"),
+	}
+	pair := dirigent.BGSpec{Pair: [2]*dirigent.Benchmark{mustBench("lbm"), mustBench("namd")}}
+	bgs := []dirigent.BGSpec{pair, pair, pair, pair}
+
+	// Baseline pass defines the per-service deadlines (µ + 0.3σ).
+	base := runBaseline(fgs, bgs)
+	deadlines := make([]time.Duration, len(fgs))
+	for i, durs := range base.durations {
+		m, s := meanStd(durs)
+		deadlines[i] = time.Duration((m + 0.3*s) * float64(time.Second))
+		fmt.Printf("%-14s baseline mean %.3fs std %.4fs -> deadline %.3fs (success %.0f%%)\n",
+			fgs[i].Name, m, s, deadlines[i].Seconds(), 100*success(durs, deadlines[i]))
+	}
+
+	// Static policy: BG cores pinned to the slowest frequency.
+	static := runStatic(fgs, bgs)
+	for i, durs := range static.durations {
+		fmt.Printf("%-14s static-throttle success %.0f%%\n", fgs[i].Name, 100*success(durs, deadlines[i]))
+	}
+	fmt.Printf("static batch throughput: %.0f%% of baseline\n", 100*static.bgRate/base.bgRate)
+
+	// Full Dirigent with per-service targets.
+	dir := runDirigent(fgs, bgs, deadlines)
+	for i, durs := range dir.durations {
+		fmt.Printf("%-14s dirigent success %.0f%%\n", fgs[i].Name, 100*success(durs, deadlines[i]))
+	}
+	fmt.Printf("dirigent batch throughput: %.0f%% of baseline\n", 100*dir.bgRate/base.bgRate)
+}
+
+type result struct {
+	durations [][]float64
+	bgRate    float64
+}
+
+func runBaseline(fgs []*dirigent.Benchmark, bgs []dirigent.BGSpec) result {
+	m := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	colo, err := dirigent.NewColocation(m, fgs, bgs, dirigent.ColocationOptions{Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := colo.RunExecutions(executions+5, dirigent.Time(20*time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	return collect(colo, 5)
+}
+
+func runStatic(fgs []*dirigent.Benchmark, bgs []dirigent.BGSpec) result {
+	m := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	colo, err := dirigent.NewColocation(m, fgs, bgs, dirigent.ColocationOptions{Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range colo.BG() {
+		if err := m.SetFreqLevel(w.Core, 0); err != nil { // 1.2 GHz
+			log.Fatal(err)
+		}
+	}
+	if err := colo.RunExecutions(executions+5, dirigent.Time(20*time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	return collect(colo, 5)
+}
+
+func runDirigent(fgs []*dirigent.Benchmark, bgs []dirigent.BGSpec, targets []time.Duration) result {
+	m := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	fgClass := m.LLC().DefineClass()
+	bgClass := m.LLC().DefineClass()
+	if err := m.LLC().SetPartition(map[dirigent.ClassID]int{0: 0, fgClass: 2, bgClass: 18}); err != nil {
+		log.Fatal(err)
+	}
+	colo, err := dirigent.NewColocation(m, fgs, bgs,
+		dirigent.ColocationOptions{Seed: 17, FGClass: fgClass, BGClass: bgClass})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := make([]*dirigent.Profile, len(fgs))
+	for i, b := range fgs {
+		p, err := dirigent.ProfileBenchmark(b, dirigent.ProfilerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles[i] = p
+	}
+	rt, err := dirigent.NewRuntime(colo, profiles, dirigent.RuntimeConfig{
+		Targets:            targets,
+		EnablePartitioning: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.RunExecutions(executions+35, dirigent.Time(30*time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	return collect(colo, 35)
+}
+
+func collect(colo *dirigent.Colocation, warm int) result {
+	var r result
+	for _, f := range colo.FG() {
+		r.durations = append(r.durations, f.Durations()[warm:])
+	}
+	r.bgRate = colo.BGInstructions() / time.Duration(colo.Machine().Now()).Seconds()
+	return r
+}
+
+func mustBench(name string) *dirigent.Benchmark {
+	b, err := dirigent.BenchmarkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(v / float64(len(xs)))
+}
+
+func success(xs []float64, deadline time.Duration) float64 {
+	ok := 0
+	for _, x := range xs {
+		if x <= deadline.Seconds() {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(xs))
+}

@@ -1,0 +1,115 @@
+// Quickstart: collocate one latency-critical task with five batch tasks,
+// first with no management, then under Dirigent, and compare.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dirigent"
+)
+
+func main() {
+	// The latency-critical foreground task and the batch background task.
+	fg, err := dirigent.BenchmarkByName("streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bg, err := dirigent.BenchmarkByName("pca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bgSpecs := make([]dirigent.BGSpec, 5)
+	for i := range bgSpecs {
+		bgSpecs[i] = dirigent.BGSpec{Bench: bg}
+	}
+
+	// ---- Pass 1: free contention (no management). ----
+	base := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	baseColo, err := dirigent.NewColocation(base, []*dirigent.Benchmark{fg}, bgSpecs,
+		dirigent.ColocationOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := baseColo.RunExecutions(40, dirigent.Time(10*time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	baseDurs := baseColo.FG()[0].Durations()[5:]
+	mean, std := meanStd(baseDurs)
+	// The paper's deadline rule: µ + 0.3σ of the unmanaged run.
+	deadline := time.Duration((mean + 0.3*std) * float64(time.Second))
+	fmt.Printf("unmanaged: mean %.3fs, std %.4fs -> deadline %.3fs, success %.0f%%\n",
+		mean, std, deadline.Seconds(), 100*successRate(baseDurs, deadline))
+
+	// ---- Pass 2: the same mix under Dirigent. ----
+	// Offline step: profile the FG benchmark running alone (§4.1).
+	profile, err := dirigent.ProfileBenchmark(fg, dirigent.ProfilerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	// Dirigent's coarse controller needs separate LLC partition classes for
+	// FG and BG tasks (Intel CAT classes of service on the real machine).
+	fgClass := m.LLC().DefineClass()
+	bgClass := m.LLC().DefineClass()
+	if err := m.LLC().SetPartition(map[dirigent.ClassID]int{0: 0, fgClass: 2, bgClass: 18}); err != nil {
+		log.Fatal(err)
+	}
+	colo, err := dirigent.NewColocation(m, []*dirigent.Benchmark{fg}, bgSpecs,
+		dirigent.ColocationOptions{Seed: 42, FGClass: fgClass, BGClass: bgClass})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := dirigent.NewRuntime(colo, []*dirigent.Profile{profile}, dirigent.RuntimeConfig{
+		Targets:            []time.Duration{deadline},
+		EnablePartitioning: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Run past the coarse controller's convergence, then measure.
+	if err := rt.RunExecutions(75, dirigent.Time(20*time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	durs := colo.FG()[0].Durations()[35:]
+	dMean, dStd := meanStd(durs)
+	fmt.Printf("dirigent:  mean %.3fs, std %.4fs -> success %.0f%% (partition: %d ways)\n",
+		dMean, dStd, 100*successRate(durs, deadline), rt.Coarse().FGWays())
+
+	// Background throughput comparison (instructions per simulated second).
+	baseBG := baseColo.BGInstructions() / time.Duration(baseColo.Machine().Now()).Seconds()
+	dirBG := colo.BGInstructions() / time.Duration(colo.Machine().Now()).Seconds()
+	fmt.Printf("background throughput: %.0f%% of unmanaged\n", 100*dirBG/baseBG)
+	fmt.Printf("std reduction: %.0f%%\n", 100*(1-dStd/std))
+}
+
+// meanStd returns the mean and population standard deviation, matching the
+// evaluation harness's estimators.
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(v / float64(len(xs)))
+}
+
+func successRate(xs []float64, deadline time.Duration) float64 {
+	ok := 0
+	for _, x := range xs {
+		if x <= deadline.Seconds() {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(xs))
+}

@@ -1,0 +1,135 @@
+// Video analytics offload: the paper's motivating scenario (§1, §2.1).
+//
+// A cloud node receives a stream of computationally-intensive recognition
+// tasks offloaded from user devices — each frame batch must complete within
+// an SLA, but finishing faster than the SLA has no value. The operator
+// backfills the node with batch analytics jobs to recover the wasted
+// capacity. This example shows the tradeoff directly: the recognition
+// stream (modelled by the bodytrack benchmark) keeps its SLA under Dirigent
+// while the analytics batch (PCA) retains most of its unmanaged throughput.
+//
+// Run with:
+//
+//	go run ./examples/videoanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dirigent"
+)
+
+const (
+	frames   = 60
+	slaSlack = 1.10 // SLA = 110% of the standalone frame time
+)
+
+func main() {
+	recognition, err := dirigent.BenchmarkByName("bodytrack")
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytics, err := dirigent.BenchmarkByName("pca")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure the standalone frame time to derive the SLA.
+	alone := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	aloneColo, err := dirigent.NewColocation(alone, []*dirigent.Benchmark{recognition}, nil,
+		dirigent.ColocationOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := aloneColo.RunExecutions(10, dirigent.Time(time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	standalone := mean(aloneColo.FG()[0].Durations()[2:])
+	sla := time.Duration(standalone * slaSlack * float64(time.Second))
+	fmt.Printf("standalone frame time %.3fs -> SLA %.3fs (%.0f%% slack)\n",
+		standalone, sla.Seconds(), (slaSlack-1)*100)
+
+	bgSpecs := make([]dirigent.BGSpec, 5)
+	for i := range bgSpecs {
+		bgSpecs[i] = dirigent.BGSpec{Bench: analytics}
+	}
+
+	// Unmanaged collocation: how many frames blow the SLA?
+	report("unmanaged", run(recognition, bgSpecs, sla, false), sla)
+
+	// Dirigent-managed collocation.
+	report("dirigent ", run(recognition, bgSpecs, sla, true), sla)
+}
+
+type outcome struct {
+	frameTimes []float64
+	bgRate     float64
+}
+
+func run(fg *dirigent.Benchmark, bg []dirigent.BGSpec, sla time.Duration, managed bool) outcome {
+	m := dirigent.NewMachine(dirigent.DefaultMachineConfig())
+	opts := dirigent.ColocationOptions{Seed: 7}
+	if managed {
+		fgClass := m.LLC().DefineClass()
+		bgClass := m.LLC().DefineClass()
+		if err := m.LLC().SetPartition(map[dirigent.ClassID]int{0: 0, fgClass: 2, bgClass: 18}); err != nil {
+			log.Fatal(err)
+		}
+		opts.FGClass, opts.BGClass = fgClass, bgClass
+	}
+	colo, err := dirigent.NewColocation(m, []*dirigent.Benchmark{fg}, bg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm := 5
+	if managed {
+		profile, err := dirigent.ProfileBenchmark(fg, dirigent.ProfilerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := dirigent.NewRuntime(colo, []*dirigent.Profile{profile}, dirigent.RuntimeConfig{
+			Targets:            []time.Duration{sla},
+			EnablePartitioning: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm = 35 // cover coarse-controller convergence
+		if err := rt.RunExecutions(frames+warm, dirigent.Time(20*time.Minute)); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := colo.RunExecutions(frames+warm, dirigent.Time(20*time.Minute)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return outcome{
+		frameTimes: colo.FG()[0].Durations()[warm:],
+		bgRate:     colo.BGInstructions() / time.Duration(colo.Machine().Now()).Seconds(),
+	}
+}
+
+func report(name string, o outcome, sla time.Duration) {
+	late := 0
+	worst := 0.0
+	for _, t := range o.frameTimes {
+		if t > sla.Seconds() {
+			late++
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	fmt.Printf("%s: %3d/%d frames within SLA, worst %.3fs, analytics throughput %.3g instr/s\n",
+		name, len(o.frameTimes)-late, len(o.frameTimes), worst, o.bgRate)
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,348 @@
+// Package cache models the shared last-level cache (LLC) of the simulated
+// machine, including Intel Cache Allocation Technology (CAT)-style way
+// partitioning and the slow response of occupancy to partition changes that
+// the paper calls *cache inertia* (§3.2, §4.3).
+//
+// The model is an occupancy model, the standard abstraction for LLC
+// contention studies: each task owns some number of bytes of cache; its hit
+// rate grows with the fraction of its working set that is resident; resident
+// bytes drift toward an equilibrium determined by the task's insertion
+// (miss) traffic relative to the other tasks sharing its partition class.
+// The drift rate is insertion bandwidth over class capacity, so a 15 MB
+// cache refilled at ~1 GB/s has a time constant of ~15 ms — orders of
+// magnitude slower than DVFS, which is exactly why Dirigent uses
+// partitioning only in its coarse time scale controller.
+package cache
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// ClassID identifies a partition class (a CAT class of service, CLOS).
+type ClassID int
+
+// LLC is a way-partitioned last-level cache. It is not safe for concurrent
+// use; the machine steps it from a single goroutine.
+type LLC struct {
+	totalBytes float64
+	ways       int
+	wayBytes   float64
+
+	classWays map[ClassID]int
+	nextClass ClassID
+
+	tasks map[int]*taskState
+
+	// scratch state reused across Apply calls: Apply runs every simulation
+	// quantum, so it must not allocate.
+	scratchMisses map[int]float64
+	scratchFill   map[ClassID]float64
+	scratchWeight map[ClassID]float64
+	scratchActive map[int]bool
+}
+
+type taskState struct {
+	class     ClassID
+	occupancy float64 // resident bytes
+}
+
+// Config describes an LLC geometry.
+type Config struct {
+	// Bytes is the total capacity. The evaluation machine has a 15 MB L3.
+	Bytes int64
+	// Ways is the associativity exposed to partitioning. The evaluation
+	// machine's CAT exposes 20 ways.
+	Ways int
+}
+
+// DefaultConfig mirrors the paper's Xeon E5-2618L v3: 15 MB, 20 ways.
+func DefaultConfig() Config {
+	return Config{Bytes: 15 << 20, Ways: 20}
+}
+
+// New creates an LLC with a single default class (ID 0) owning every way.
+func New(cfg Config) (*LLC, error) {
+	if cfg.Bytes <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", cfg.Bytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: ways %d must be positive", cfg.Ways)
+	}
+	l := &LLC{
+		totalBytes:    float64(cfg.Bytes),
+		ways:          cfg.Ways,
+		wayBytes:      float64(cfg.Bytes) / float64(cfg.Ways),
+		classWays:     map[ClassID]int{0: cfg.Ways},
+		nextClass:     1,
+		tasks:         map[int]*taskState{},
+		scratchMisses: map[int]float64{},
+		scratchFill:   map[ClassID]float64{},
+		scratchWeight: map[ClassID]float64{},
+		scratchActive: map[int]bool{},
+	}
+	return l, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *LLC {
+	l, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Ways returns the total number of partitionable ways.
+func (l *LLC) Ways() int { return l.ways }
+
+// TotalBytes returns the cache capacity in bytes.
+func (l *LLC) TotalBytes() float64 { return l.totalBytes }
+
+// WayBytes returns the capacity of a single way in bytes.
+func (l *LLC) WayBytes() float64 { return l.wayBytes }
+
+// DefineClass allocates a new partition class with zero ways. Ways must be
+// assigned with SetPartition before tasks in the class can cache anything.
+func (l *LLC) DefineClass() ClassID {
+	id := l.nextClass
+	l.nextClass++
+	l.classWays[id] = 0
+	return id
+}
+
+// SetPartition assigns way counts to classes. Every class in the map must
+// exist, counts must be non-negative, and the total must not exceed the
+// cache's ways. Classes not mentioned keep their current allocation.
+// Partition changes do NOT immediately move data: occupancy beyond the new
+// allocation drains at the inertia rate as competing insertions evict it.
+func (l *LLC) SetPartition(ways map[ClassID]int) error {
+	next := make(map[ClassID]int, len(l.classWays))
+	for id, w := range l.classWays {
+		next[id] = w
+	}
+	for id, w := range ways {
+		if _, ok := l.classWays[id]; !ok {
+			return fmt.Errorf("cache: unknown class %d", id)
+		}
+		if w < 0 {
+			return fmt.Errorf("cache: class %d way count %d is negative", id, w)
+		}
+		next[id] = w
+	}
+	total := 0
+	for _, w := range next {
+		total += w
+	}
+	if total > l.ways {
+		return fmt.Errorf("cache: partition uses %d ways, cache has %d", total, l.ways)
+	}
+	l.classWays = next
+	return nil
+}
+
+// ClassWays returns the current way allocation of a class.
+func (l *LLC) ClassWays(id ClassID) (int, error) {
+	w, ok := l.classWays[id]
+	if !ok {
+		return 0, fmt.Errorf("cache: unknown class %d", id)
+	}
+	return w, nil
+}
+
+// ClassBytes returns the byte capacity of a class's partition.
+func (l *LLC) ClassBytes(id ClassID) (float64, error) {
+	w, err := l.ClassWays(id)
+	if err != nil {
+		return 0, err
+	}
+	return float64(w) * l.wayBytes, nil
+}
+
+// Register adds task to a partition class with zero initial occupancy.
+// Re-registering an existing task moves it to the new class, keeping its
+// occupancy (data does not vanish when a task's CLOS changes; it drains or
+// grows by the normal dynamics).
+func (l *LLC) Register(task int, class ClassID) error {
+	if _, ok := l.classWays[class]; !ok {
+		return fmt.Errorf("cache: unknown class %d", class)
+	}
+	if st, ok := l.tasks[task]; ok {
+		st.class = class
+		return nil
+	}
+	l.tasks[task] = &taskState{class: class}
+	return nil
+}
+
+// Unregister removes a task; its occupancy is freed instantly (process
+// teardown invalidates its lines for our purposes).
+func (l *LLC) Unregister(task int) {
+	delete(l.tasks, task)
+}
+
+// Occupancy returns a task's resident bytes (0 for unknown tasks).
+func (l *LLC) Occupancy(task int) float64 {
+	if st, ok := l.tasks[task]; ok {
+		return st.occupancy
+	}
+	return 0
+}
+
+// reuseSkew is the exponent of the hit-rate vs resident-fraction curve.
+// Reuse is skewed: the hottest lines are cached first (LRU keeps what is
+// touched most), so a task holding 25% of its working set captures well
+// over 25% of its potential hits. The concave curve (exponent < 1) is what
+// produces the knee in partition-size sweeps (the paper's Fig. 8): early
+// ways buy large miss reductions, later ways diminishing ones.
+const reuseSkew = 0.5
+
+// HitRate returns the probability that an access by task hits, given the
+// task's working-set size in bytes and locality in [0,1]. Locality is the
+// hit rate the task would see with its entire working set resident
+// (compulsory and streaming misses cap it below 1); the skewed resident
+// fraction scales it down. Unknown tasks miss always.
+func (l *LLC) HitRate(task int, wss, locality float64) float64 {
+	st, ok := l.tasks[task]
+	if !ok || wss <= 0 {
+		return 0
+	}
+	if locality < 0 {
+		locality = 0
+	} else if locality > 1 {
+		locality = 1
+	}
+	resident := st.occupancy / wss
+	if resident >= 1 {
+		return locality
+	}
+	return locality * math.Pow(resident, reuseSkew)
+}
+
+// Traffic describes one task's cache activity during a quantum, produced by
+// the machine's performance solver.
+type Traffic struct {
+	Task int
+	// Accesses is the number of LLC accesses in the quantum.
+	Accesses float64
+	// MissRate is the per-access miss probability the solver computed (from
+	// HitRate at the start of the quantum).
+	MissRate float64
+	// WSS is the task's current working-set size in bytes.
+	WSS float64
+}
+
+// Apply advances occupancy dynamics by dt given each task's traffic, and
+// returns the miss count per task (misses = accesses × missRate — returned
+// for the perf counter file so the counting logic lives in one place). The
+// returned map is reused by the next Apply call; callers must copy values
+// they want to keep.
+//
+// Dynamics, per partition class:
+//
+//	equilibrium_t = min(WSS_t, classBytes × weight_t / Σ weight)
+//	occ_t ← occ_t + (equilibrium_t − occ_t) × min(1, fillRate×dt)
+//
+// where weight_t models LRU recency pressure: insertion traffic (misses ×
+// line size) plus a discounted credit for hits — in LRU a hit promotes its
+// line to MRU, so frequently-reused (high-hit-rate) tasks retain occupancy
+// against streaming neighbours even though they insert little. A small
+// floor keeps idle tasks from losing every line instantly. fillRate is
+// class insertion bandwidth over class capacity — the inertia term.
+// Occupancy above the class allocation (after a partition shrink) decays at
+// the same rate.
+func (l *LLC) Apply(dt time.Duration, traffic []Traffic) map[int]float64 {
+	const weightFloor = float64(16 * LineSize) // idle tasks keep a sliver
+	// hitRecencyWeight discounts hit traffic against insertion traffic in
+	// the occupancy equilibrium: hits refresh recency (LRU) but repeated
+	// touches to one line overcount uniqueness, hence < 1.
+	const hitRecencyWeight = 0.5
+
+	misses := l.scratchMisses
+	fill := l.scratchFill
+	weight := l.scratchWeight
+	active := l.scratchActive
+	clear(misses)
+	clear(fill)
+	clear(weight)
+	clear(active)
+
+	// Pass 1: per-task miss counts, per-class fill and weight totals.
+	for _, tr := range traffic {
+		st, ok := l.tasks[tr.Task]
+		if !ok {
+			continue
+		}
+		m := tr.Accesses * clamp01(tr.MissRate)
+		misses[tr.Task] = m
+		active[tr.Task] = true
+		fill[st.class] += m * LineSize
+		hits := (tr.Accesses - m) * LineSize
+		weight[st.class] += m*LineSize + hitRecencyWeight*hits + weightFloor
+	}
+
+	dtSec := dt.Seconds()
+	// Pass 2: move each active task toward its equilibrium share.
+	for _, tr := range traffic {
+		st, ok := l.tasks[tr.Task]
+		if !ok {
+			continue
+		}
+		capBytes := float64(l.classWays[st.class]) * l.wayBytes
+		if capBytes <= 0 {
+			// No ways: occupancy drains fast (fills bypass the class).
+			st.occupancy *= math.Max(0, 1-4*dtSec/0.001)
+			continue
+		}
+		// Convergence rate: class fill bandwidth over class capacity plus
+		// a slow base drift so caches settle even with no traffic at all.
+		rate := fill[st.class]/capBytes + 0.02*dtSec/0.005
+		if rate > 1 {
+			rate = 1
+		}
+		m := misses[tr.Task]
+		w := m*LineSize + hitRecencyWeight*(tr.Accesses-m)*LineSize + weightFloor
+		eq := capBytes * w / weight[st.class]
+		if eq > tr.WSS && tr.WSS > 0 {
+			eq = tr.WSS
+		}
+		st.occupancy += (eq - st.occupancy) * rate
+		if st.occupancy < 0 {
+			st.occupancy = 0
+		}
+	}
+
+	// Pass 3: tasks with no traffic this quantum (paused) lose occupancy to
+	// the active tasks in their class — only if the class had insertions.
+	for id, st := range l.tasks {
+		if active[id] {
+			continue
+		}
+		capBytes := float64(l.classWays[st.class]) * l.wayBytes
+		if capBytes <= 0 {
+			st.occupancy = 0
+			continue
+		}
+		rate := fill[st.class] / capBytes
+		if rate > 1 {
+			rate = 1
+		}
+		st.occupancy *= 1 - rate
+	}
+
+	return misses
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,57 @@
+package config
+
+import "testing"
+
+func TestAllFiveConfigs(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d configs, want 5", len(all))
+	}
+	want := []Name{Baseline, StaticFreq, StaticBoth, DirigentFreq, Dirigent}
+	for i, c := range all {
+		if c.Name != want[i] {
+			t.Errorf("config %d = %s, want %s", i, c.Name, want[i])
+		}
+		if c.Description == "" {
+			t.Errorf("%s has no description", c.Name)
+		}
+	}
+	if got := Names(); len(got) != 5 || got[0] != Baseline || got[4] != Dirigent {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestConfigSemantics(t *testing.T) {
+	base := MustByName(Baseline)
+	if base.UseRuntime || base.StaticBGMinFreq || base.CalibratedStatic {
+		t.Errorf("Baseline should be unmanaged: %+v", base)
+	}
+	sf := MustByName(StaticFreq)
+	if !sf.StaticBGMinFreq || sf.UseRuntime {
+		t.Errorf("StaticFreq wrong: %+v", sf)
+	}
+	sb := MustByName(StaticBoth)
+	if !sb.CalibratedStatic || sb.UseRuntime {
+		t.Errorf("StaticBoth wrong: %+v", sb)
+	}
+	df := MustByName(DirigentFreq)
+	if !df.UseRuntime || df.RuntimePartitioning {
+		t.Errorf("DirigentFreq wrong: %+v", df)
+	}
+	d := MustByName(Dirigent)
+	if !d.UseRuntime || !d.RuntimePartitioning {
+		t.Errorf("Dirigent wrong: %+v", d)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic")
+		}
+	}()
+	MustByName("nope")
+}

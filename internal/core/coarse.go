@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"dirigent/internal/cache"
+	"dirigent/internal/stats"
+)
+
+// Default coarse-control parameters from §4.3 and §5.3.
+const (
+	// DefaultCorrThreshold is the correlation coefficient above which FG
+	// execution time is considered strongly coupled to FG LLC misses.
+	DefaultCorrThreshold = 0.75
+	// DefaultHistory is the number of recent FG executions the controller
+	// considers.
+	DefaultHistory = 10
+	// DefaultAdjustEvery is how many FG executions elapse between partition
+	// adjustments. The paper's controller converges to the Fig. 8 knee
+	// "after just 32 FG task executions (5 coarse time scale controller
+	// invocations)" — ~6–7 executions per invocation.
+	DefaultAdjustEvery = 6
+	// DefaultSuppressedFrac is the fraction of fine decisions with BG fully
+	// suppressed above which heuristic 3 grows the FG partition.
+	DefaultSuppressedFrac = 0.5
+)
+
+// CoarseConfig configures the coarse time scale controller.
+type CoarseConfig struct {
+	// MinFGWays/MaxFGWays bound the FG partition (BG always keeps at least
+	// the remainder). Zero values default to 2 and ways−2.
+	MinFGWays, MaxFGWays int
+	// History is the sliding window length in executions.
+	History int
+	// AdjustEvery is the invocation interval in executions.
+	AdjustEvery int
+	// CorrThreshold is heuristic 1's correlation bound.
+	CorrThreshold float64
+	// SuppressedFrac is heuristic 3's trigger.
+	SuppressedFrac float64
+	// InitialFGWays is the starting partition. Zero defaults to MinFGWays:
+	// the controller starts with minimal isolation and grows the FG
+	// partition one way at a time as the heuristics demand (§4.3 "add one
+	// LLC way to the FG partition"), converging to the knee of the Fig. 8
+	// curve rather than starting from an over-provisioned split.
+	InitialFGWays int
+}
+
+func (c CoarseConfig) withDefaults(totalWays int) CoarseConfig {
+	if c.MinFGWays == 0 {
+		c.MinFGWays = 2
+	}
+	if c.MaxFGWays == 0 {
+		c.MaxFGWays = totalWays - 2
+	}
+	if c.History == 0 {
+		c.History = DefaultHistory
+	}
+	if c.AdjustEvery == 0 {
+		c.AdjustEvery = DefaultAdjustEvery
+	}
+	if c.CorrThreshold == 0 {
+		c.CorrThreshold = DefaultCorrThreshold
+	}
+	if c.SuppressedFrac == 0 {
+		c.SuppressedFrac = DefaultSuppressedFrac
+	}
+	if c.InitialFGWays == 0 {
+		c.InitialFGWays = c.MinFGWays
+	}
+	return c
+}
+
+// CoarseController implements Dirigent's coarse time scale QoS control
+// (§4.3): it adjusts the CAT-style way partition between the FG and BG
+// classes using statistics collected over multiple FG executions, because
+// cache inertia makes partition changes too slow for per-segment control.
+//
+// Three heuristics:
+//
+//  1. If corr(FG execution time, FG LLC misses) over the window exceeds the
+//     threshold AND a deadline was missed recently, grow the FG partition.
+//  2. If the previous action was a grow and FG misses did not decrease,
+//     shrink back (prevents unbounded growth from anomalous executions).
+//  3. If the fine controller reports BG tasks heavily suppressed (low BG
+//     core utilization), grow the FG partition even without correlation —
+//     partitioning may relieve the contention that throttling is absorbing.
+type CoarseController struct {
+	llc     *cache.LLC
+	fgClass cache.ClassID
+	bgClass cache.ClassID
+	cfg     CoarseConfig
+
+	execTimes  *stats.Ring
+	execMisses *stats.Ring
+	missedDL   *stats.Ring // 1.0 = missed
+
+	sinceAdjust int
+	fgWays      int
+
+	// Grow bookkeeping for heuristic 2.
+	lastWasGrow      bool
+	missesBeforeGrow float64
+
+	adjustments      int
+	execCount        int
+	lastChangeAtExec int
+}
+
+// NewCoarseController builds the controller and applies the initial
+// partition.
+func NewCoarseController(llc *cache.LLC, fgClass, bgClass cache.ClassID, cfg CoarseConfig) (*CoarseController, error) {
+	if llc == nil {
+		return nil, fmt.Errorf("core: nil LLC")
+	}
+	if fgClass == bgClass {
+		return nil, fmt.Errorf("core: FG and BG must use distinct partition classes")
+	}
+	cfg = cfg.withDefaults(llc.Ways())
+	if cfg.MinFGWays < 1 || cfg.MaxFGWays > llc.Ways()-1 || cfg.MinFGWays > cfg.MaxFGWays {
+		return nil, fmt.Errorf("core: FG way bounds [%d,%d] invalid for %d-way cache",
+			cfg.MinFGWays, cfg.MaxFGWays, llc.Ways())
+	}
+	if cfg.InitialFGWays < cfg.MinFGWays || cfg.InitialFGWays > cfg.MaxFGWays {
+		return nil, fmt.Errorf("core: initial FG ways %d outside [%d,%d]",
+			cfg.InitialFGWays, cfg.MinFGWays, cfg.MaxFGWays)
+	}
+	cc := &CoarseController{
+		llc:        llc,
+		fgClass:    fgClass,
+		bgClass:    bgClass,
+		cfg:        cfg,
+		execTimes:  stats.MustRing(cfg.History),
+		execMisses: stats.MustRing(cfg.History),
+		missedDL:   stats.MustRing(cfg.History),
+		fgWays:     cfg.InitialFGWays,
+	}
+	if err := cc.apply(); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+func (cc *CoarseController) apply() error {
+	return cc.llc.SetPartition(map[cache.ClassID]int{
+		cc.fgClass: cc.fgWays,
+		cc.bgClass: cc.llc.Ways() - cc.fgWays,
+	})
+}
+
+// FGWays returns the current FG partition size.
+func (cc *CoarseController) FGWays() int { return cc.fgWays }
+
+// Adjustments returns how many partition changes have been applied.
+func (cc *CoarseController) Adjustments() int { return cc.adjustments }
+
+// RecordExecution feeds one completed FG execution: its duration in
+// seconds, its LLC misses, and whether it missed its deadline. With
+// multiple FG streams, the runtime records every stream's executions into
+// the same window (they share the FG partition, §5.4).
+func (cc *CoarseController) RecordExecution(durationSec, llcMisses float64, missedDeadline bool) {
+	cc.execTimes.Push(durationSec)
+	cc.execMisses.Push(llcMisses)
+	if missedDeadline {
+		cc.missedDL.Push(1)
+	} else {
+		cc.missedDL.Push(0)
+	}
+	cc.sinceAdjust++
+	cc.execCount++
+}
+
+// Due reports whether enough executions have accumulated for an adjustment.
+func (cc *CoarseController) Due() bool {
+	return cc.sinceAdjust >= cc.cfg.AdjustEvery && cc.execTimes.Len() >= 2
+}
+
+// Adjust runs the three heuristics and applies any partition change.
+// fineStats is the fine controller's telemetry since the last adjustment
+// (used by heuristic 3); the caller should reset it afterwards. Returns the
+// applied delta in ways (-1, 0, +1).
+func (cc *CoarseController) Adjust(fineStats Stats) (int, error) {
+	cc.sinceAdjust = 0
+
+	times := cc.execTimes.Values()
+	misses := cc.execMisses.Values()
+	missedRecently := false
+	for _, v := range cc.missedDL.Values() {
+		if v > 0 {
+			missedRecently = true
+			break
+		}
+	}
+
+	// Heuristic 2: a grow that did not reduce misses is undone. Checked
+	// first so a bad grow cannot stick.
+	if cc.lastWasGrow {
+		cc.lastWasGrow = false
+		if mean := stats.Mean(misses); mean >= cc.missesBeforeGrow*0.98 {
+			return cc.step(-1)
+		}
+	}
+
+	// Heuristic 1: strong time↔miss correlation plus recent misses.
+	corr, err := stats.Correlation(times, misses)
+	if err == nil && corr > cc.cfg.CorrThreshold && missedRecently {
+		return cc.grow(misses)
+	}
+
+	// Heuristic 3: BG heavily suppressed by the fine controller.
+	if fineStats.Decisions > 0 {
+		frac := float64(fineStats.BGSuppressed) / float64(fineStats.Decisions)
+		if frac > cc.cfg.SuppressedFrac {
+			return cc.grow(misses)
+		}
+	}
+	return 0, nil
+}
+
+func (cc *CoarseController) grow(missWindow []float64) (int, error) {
+	cc.missesBeforeGrow = stats.Mean(missWindow)
+	delta, err := cc.step(+1)
+	if err == nil && delta > 0 {
+		cc.lastWasGrow = true
+	}
+	return delta, err
+}
+
+func (cc *CoarseController) step(delta int) (int, error) {
+	next := cc.fgWays + delta
+	if next < cc.cfg.MinFGWays || next > cc.cfg.MaxFGWays {
+		return 0, nil
+	}
+	cc.fgWays = next
+	if err := cc.apply(); err != nil {
+		cc.fgWays -= delta
+		return 0, err
+	}
+	cc.adjustments++
+	cc.lastChangeAtExec = cc.execCount
+	return delta, nil
+}
+
+// ConvergedAt returns the execution count at which the partition last
+// changed — the paper's convergence measure (§5.3: "converges ... after
+// just 32 FG task executions").
+func (cc *CoarseController) ConvergedAt() int { return cc.lastChangeAtExec }

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"dirigent/internal/cache"
+)
+
+func newCoarseFixture(t *testing.T, cfg CoarseConfig) (*cache.LLC, *CoarseController, cache.ClassID, cache.ClassID) {
+	t.Helper()
+	llc := cache.MustNew(cache.DefaultConfig())
+	fg := llc.DefineClass()
+	bg := llc.DefineClass()
+	if err := llc.SetPartition(map[cache.ClassID]int{0: 0}); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewCoarseController(llc, fg, bg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return llc, cc, fg, bg
+}
+
+func TestNewCoarseControllerValidation(t *testing.T) {
+	llc := cache.MustNew(cache.DefaultConfig())
+	fg := llc.DefineClass()
+	bg := llc.DefineClass()
+	_ = llc.SetPartition(map[cache.ClassID]int{0: 0})
+	if _, err := NewCoarseController(nil, fg, bg, CoarseConfig{}); err == nil {
+		t.Error("nil LLC should error")
+	}
+	if _, err := NewCoarseController(llc, fg, fg, CoarseConfig{}); err == nil {
+		t.Error("same class should error")
+	}
+	if _, err := NewCoarseController(llc, fg, bg, CoarseConfig{MinFGWays: 10, MaxFGWays: 5}); err == nil {
+		t.Error("inverted bounds should error")
+	}
+	if _, err := NewCoarseController(llc, fg, bg, CoarseConfig{MaxFGWays: 25}); err == nil {
+		t.Error("bounds beyond cache should error")
+	}
+	if _, err := NewCoarseController(llc, fg, bg, CoarseConfig{InitialFGWays: 19}); err == nil {
+		t.Error("initial outside bounds should error")
+	}
+}
+
+func TestCoarseInitialPartition(t *testing.T) {
+	llc, cc, fg, bg := newCoarseFixture(t, CoarseConfig{})
+	if cc.FGWays() != 2 {
+		t.Errorf("initial FG ways = %d, want MinFGWays 2", cc.FGWays())
+	}
+	w, _ := llc.ClassWays(fg)
+	if w != 2 {
+		t.Errorf("LLC FG partition = %d", w)
+	}
+	w, _ = llc.ClassWays(bg)
+	if w != 18 {
+		t.Errorf("LLC BG partition = %d", w)
+	}
+}
+
+func TestCoarseDue(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 3})
+	if cc.Due() {
+		t.Error("fresh controller should not be due")
+	}
+	cc.RecordExecution(1.0, 100, false)
+	cc.RecordExecution(1.1, 110, false)
+	if cc.Due() {
+		t.Error("2 executions < AdjustEvery 3")
+	}
+	cc.RecordExecution(1.2, 120, false)
+	if !cc.Due() {
+		t.Error("3 executions should be due")
+	}
+}
+
+func TestHeuristic1GrowsOnCorrelationAndMisses(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 6, InitialFGWays: 10})
+	// Perfectly correlated times/misses, with deadline misses.
+	for i := 0; i < 6; i++ {
+		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), i%2 == 0)
+	}
+	delta, err := cc.Adjust(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 1 {
+		t.Errorf("delta = %d, want +1 (heuristic 1)", delta)
+	}
+	if cc.FGWays() != 11 {
+		t.Errorf("FGWays = %d", cc.FGWays())
+	}
+	if cc.Adjustments() != 1 {
+		t.Errorf("Adjustments = %d", cc.Adjustments())
+	}
+}
+
+func TestHeuristic1NeedsDeadlineMisses(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 6, InitialFGWays: 10})
+	// Correlated but no deadline misses: no growth.
+	for i := 0; i < 6; i++ {
+		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), false)
+	}
+	delta, err := cc.Adjust(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("delta = %d, want 0 without deadline misses", delta)
+	}
+}
+
+func TestHeuristic1NeedsCorrelation(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 6, InitialFGWays: 10})
+	// Deadline misses but anti-correlated misses.
+	for i := 0; i < 6; i++ {
+		cc.RecordExecution(1.0+0.1*float64(i), 200-10*float64(i), true)
+	}
+	delta, err := cc.Adjust(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("delta = %d, want 0 without correlation", delta)
+	}
+}
+
+func TestHeuristic2UndoesUselessGrow(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 6, InitialFGWays: 10})
+	for i := 0; i < 6; i++ {
+		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), true)
+	}
+	if d, _ := cc.Adjust(Stats{}); d != 1 {
+		t.Fatal("setup: grow expected")
+	}
+	// Misses did NOT improve in the following window.
+	for i := 0; i < 6; i++ {
+		cc.RecordExecution(1.0, 130, false)
+	}
+	delta, err := cc.Adjust(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != -1 {
+		t.Errorf("delta = %d, want -1 (heuristic 2 shrink)", delta)
+	}
+	if cc.FGWays() != 10 {
+		t.Errorf("FGWays = %d, want back to 10", cc.FGWays())
+	}
+}
+
+func TestHeuristic2KeepsUsefulGrow(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 6, InitialFGWays: 10})
+	for i := 0; i < 6; i++ {
+		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), true)
+	}
+	if d, _ := cc.Adjust(Stats{}); d != 1 {
+		t.Fatal("setup: grow expected")
+	}
+	// Misses clearly improved: the grow sticks (and no new trigger fires —
+	// flush the whole 10-deep window with uncorrelated, deadline-met
+	// records so heuristic 1 stays quiet).
+	for i := 0; i < 10; i++ {
+		cc.RecordExecution(1.0, 50+float64(i%2), false)
+	}
+	delta, err := cc.Adjust(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("delta = %d, want 0 (grow retained)", delta)
+	}
+	if cc.FGWays() != 11 {
+		t.Errorf("FGWays = %d, want 11", cc.FGWays())
+	}
+}
+
+func TestHeuristic3GrowsOnBGSuppression(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 6, InitialFGWays: 10})
+	// Uncorrelated executions, no deadline misses — but the fine controller
+	// reports BG heavily suppressed.
+	vals := []float64{100, 90, 110, 95, 105, 100}
+	for i, v := range vals {
+		cc.RecordExecution(1.0, v, i == 0)
+	}
+	delta, err := cc.Adjust(Stats{Decisions: 10, BGSuppressed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 1 {
+		t.Errorf("delta = %d, want +1 (heuristic 3)", delta)
+	}
+	// Below the suppression threshold: nothing.
+	for i, v := range vals {
+		cc.RecordExecution(1.0, v, i == 0)
+	}
+	delta, _ = cc.Adjust(Stats{Decisions: 10, BGSuppressed: 2})
+	// Heuristic 2 may shrink if the grow did not improve misses — accept -1
+	// or 0 but never +1.
+	if delta == 1 {
+		t.Errorf("delta = %d, must not grow below suppression threshold", delta)
+	}
+}
+
+func TestCoarseRespectsBounds(t *testing.T) {
+	_, cc, _, _ := newCoarseFixture(t, CoarseConfig{AdjustEvery: 2, MinFGWays: 9, MaxFGWays: 11, InitialFGWays: 10})
+	grow := func() int {
+		for i := 0; i < 2; i++ {
+			cc.RecordExecution(1.0+0.1*float64(i)+0.05*float64(i*i), 100+10*float64(i)+5*float64(i*i), true)
+		}
+		d, err := cc.Adjust(Stats{Decisions: 10, BGSuppressed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if d := grow(); d != 1 {
+		t.Fatalf("first grow = %d", d)
+	}
+	// 11 = max: further grows must be clamped to 0. (Each Adjust may also
+	// invoke heuristic 2; feed improving misses so the grow sticks.)
+	cc.lastWasGrow = false
+	for i := 0; i < 2; i++ {
+		cc.RecordExecution(1.0+0.1*float64(i), 10+10*float64(i), true)
+	}
+	d, err := cc.Adjust(Stats{Decisions: 10, BGSuppressed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || cc.FGWays() != 11 {
+		t.Errorf("at max: delta = %d, ways = %d", d, cc.FGWays())
+	}
+}

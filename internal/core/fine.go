@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dirigent/internal/machine"
+	"dirigent/internal/sim"
+)
+
+// Default fine-control parameters from §4.3.
+const (
+	// DefaultAheadMargin: yield FG resources only when the FG is predicted
+	// ahead of its target by more than this margin. The paper uses the
+	// predictor's typical error (~2%) as the safety margin against
+	// prematurely slowing an FG task; we widen it slightly to 4% so the
+	// controller's steady state hovers a few percent ahead of the deadline
+	// rather than exactly on it (see also DefaultBehindMargin).
+	DefaultAheadMargin = 0.04
+	// DefaultBehindMargin: prioritize the FG when its predicted slack falls
+	// below this fraction of the target. A small positive margin makes the
+	// steady state sit ahead of the deadline by at least the predictor's
+	// typical error, which is what keeps the success rate above 95% instead
+	// of ~50% (hovering exactly on the deadline loses every coin flip).
+	DefaultBehindMargin = 0.015
+	// DefaultPauseMargin: pause BG tasks only when the FG is predicted more
+	// than 10% behind its target, because pausing is the most intrusive
+	// action.
+	DefaultPauseMargin = 0.10
+	// DefaultDecisionSegments: make control decisions every 5 prediction
+	// segments, because control actions are not instantaneous.
+	DefaultDecisionSegments = 5
+	// DefaultSpeedupHoldoff: consecutive "ahead" decisions required before
+	// each one-grade BG speed-up. Throttling reacts immediately; releasing
+	// is rate-limited. Without this asymmetry the controller enters a
+	// limit cycle — a fast execution releases BG fully within one
+	// execution, the next execution starts against unthrottled BG and
+	// misses by a hair, BG is floored again, and the pattern repeats every
+	// three executions.
+	DefaultSpeedupHoldoff = 20
+)
+
+// DefaultGrades returns the five equi-spaced DVFS grades Dirigent uses out
+// of the platform's nine levels (§5.1: "Dirigent uses just 5 equi-spaced
+// frequencies", 1.2/1.4/1.6/1.8/2.0 GHz), as indices into the machine's
+// level table.
+func DefaultGrades() []int { return []int{0, 2, 4, 6, 8} }
+
+// FGStatus is the fine controller's per-stream input at a decision point.
+type FGStatus struct {
+	// Predicted is the predicted completion time of the in-flight
+	// execution.
+	Predicted sim.Time
+	// Deadline is the absolute completion target of the in-flight
+	// execution.
+	Deadline sim.Time
+	// Target is the relative latency target (deadline − execution start),
+	// used to normalize slack.
+	Target time.Duration
+}
+
+// slack returns (deadline − predicted)/target: positive when ahead.
+func (s FGStatus) slack() float64 {
+	if s.Target <= 0 {
+		return 0
+	}
+	return float64(s.Deadline-s.Predicted) / float64(s.Target)
+}
+
+// FineConfig configures the fine time scale controller.
+type FineConfig struct {
+	// Grades are machine frequency-level indices, ascending. Zero value
+	// uses DefaultGrades.
+	Grades []int
+	// AheadMargin, BehindMargin and PauseMargin are the yield / prioritize /
+	// pause thresholds on normalized slack.
+	AheadMargin  float64
+	BehindMargin float64
+	PauseMargin  float64
+	// SpeedupHoldoff is the number of consecutive ahead decisions required
+	// before each BG speed-up (negative disables the hold-off).
+	SpeedupHoldoff int
+}
+
+func (c FineConfig) withDefaults() FineConfig {
+	if len(c.Grades) == 0 {
+		c.Grades = DefaultGrades()
+	}
+	if c.AheadMargin == 0 {
+		c.AheadMargin = DefaultAheadMargin
+	}
+	if c.BehindMargin == 0 {
+		c.BehindMargin = DefaultBehindMargin
+	}
+	if c.PauseMargin == 0 {
+		c.PauseMargin = DefaultPauseMargin
+	}
+	if c.SpeedupHoldoff == 0 {
+		c.SpeedupHoldoff = DefaultSpeedupHoldoff
+	}
+	if c.SpeedupHoldoff < 0 {
+		c.SpeedupHoldoff = 1
+	}
+	return c
+}
+
+// FineController implements Dirigent's fine time scale policy (§4.3): at
+// each decision point it compares predicted FG completion against the
+// deadline and shifts resources between FG and BG tasks using per-core DVFS
+// and task pausing.
+type FineController struct {
+	m   *machine.Machine
+	cfg FineConfig
+
+	fgTasks []int // task IDs, parallel to the runtime's FG streams
+	fgCores []int
+	bgTasks []int
+	bgCores []int
+
+	// missSnapshot holds each BG task's cumulative LLC misses at the last
+	// decision, for the intrusiveness ranking ("the number of LLC load
+	// misses a task generates", §4.3).
+	missSnapshot map[int]float64
+
+	// Decision telemetry for the coarse controller's heuristic 3 and for
+	// Fig. 12-style analyses.
+	decisions        int
+	bgSuppressed     int // decisions where all BG were at min grade or paused
+	pausesIssued     int
+	fgThrottleCount  int
+	bgThrottleCount  int
+	bgSpeedupCount   int
+	resumeCount      int
+	fgMaxBoostCount  int
+	lastDecisionTime sim.Time
+
+	// aheadStreak counts consecutive all-ahead decisions, for the BG
+	// speed-up hold-off.
+	aheadStreak int
+}
+
+// NewFineController validates inputs and builds the controller. The
+// machine's frequency levels must include every grade.
+func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []int, cfg FineConfig) (*FineController, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil machine")
+	}
+	if len(fgTasks) == 0 || len(fgTasks) != len(fgCores) {
+		return nil, fmt.Errorf("core: FG task/core lists invalid (%d tasks, %d cores)", len(fgTasks), len(fgCores))
+	}
+	if len(bgTasks) != len(bgCores) {
+		return nil, fmt.Errorf("core: BG task/core lists invalid (%d tasks, %d cores)", len(bgTasks), len(bgCores))
+	}
+	cfg = cfg.withDefaults()
+	for i, g := range cfg.Grades {
+		if g < 0 || g > m.MaxFreqLevel() {
+			return nil, fmt.Errorf("core: grade %d (level %d) outside machine levels", i, g)
+		}
+		if i > 0 && g <= cfg.Grades[i-1] {
+			return nil, fmt.Errorf("core: grades must be strictly ascending")
+		}
+	}
+	fc := &FineController{
+		m:            m,
+		cfg:          cfg,
+		fgTasks:      append([]int(nil), fgTasks...),
+		fgCores:      append([]int(nil), fgCores...),
+		bgTasks:      append([]int(nil), bgTasks...),
+		bgCores:      append([]int(nil), bgCores...),
+		missSnapshot: map[int]float64{},
+	}
+	// Pin every managed core to a grade (the top one) so grade stepping is
+	// well-defined.
+	top := cfg.Grades[len(cfg.Grades)-1]
+	for _, c := range append(append([]int(nil), fgCores...), bgCores...) {
+		if err := m.SetFreqLevel(c, top); err != nil {
+			return nil, err
+		}
+	}
+	return fc, nil
+}
+
+// gradeOf maps a core's current level to its grade index; levels between
+// grades (not produced by this controller) snap down.
+func (fc *FineController) gradeOf(core int) int {
+	level, err := fc.m.FreqLevel(core)
+	if err != nil {
+		return 0
+	}
+	g := 0
+	for i, l := range fc.cfg.Grades {
+		if level >= l {
+			g = i
+		}
+	}
+	return g
+}
+
+func (fc *FineController) setGrade(core, grade int) {
+	if grade < 0 {
+		grade = 0
+	}
+	if grade >= len(fc.cfg.Grades) {
+		grade = len(fc.cfg.Grades) - 1
+	}
+	// The grade is validated against machine levels at construction.
+	if err := fc.m.SetFreqLevel(core, fc.cfg.Grades[grade]); err != nil {
+		panic(fmt.Sprintf("core: setGrade: %v", err))
+	}
+}
+
+// Decide runs one fine time scale decision (§4.3). status must be parallel
+// to the FG task list given at construction.
+func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
+	if len(status) != len(fc.fgTasks) {
+		return fmt.Errorf("core: %d statuses for %d FG tasks", len(status), len(fc.fgTasks))
+	}
+	fc.decisions++
+	fc.lastDecisionTime = now
+
+	topGrade := len(fc.cfg.Grades) - 1
+	var behind, ahead []int
+	worst := 0
+	for i, st := range status {
+		s := st.slack()
+		if s < fc.cfg.BehindMargin {
+			behind = append(behind, i)
+		} else if s > fc.cfg.AheadMargin {
+			ahead = append(ahead, i)
+		}
+		if st.slack() < status[worst].slack() {
+			worst = i
+		}
+	}
+
+	switch {
+	case len(behind) > 0:
+		fc.aheadStreak = 0
+		// Lagging FG tasks: boost them to max frequency.
+		allWereMax := true
+		for _, i := range behind {
+			if fc.gradeOf(fc.fgCores[i]) != topGrade {
+				allWereMax = false
+				fc.setGrade(fc.fgCores[i], topGrade)
+				fc.fgMaxBoostCount++
+			}
+		}
+		if allWereMax {
+			// Already at max: throttle BG one grade.
+			throttled := false
+			for j, c := range fc.bgCores {
+				if fc.paused(fc.bgTasks[j]) {
+					continue
+				}
+				if g := fc.gradeOf(c); g > 0 {
+					fc.setGrade(c, g-1)
+					throttled = true
+				}
+			}
+			if throttled {
+				fc.bgThrottleCount++
+			} else if status[worst].slack() < -fc.cfg.PauseMargin {
+				// BG already at minimum frequency and the FG is badly
+				// behind: pause the most intrusive active BG.
+				fc.pauseMostIntrusive()
+			}
+		}
+		// Multi-FG rule: FG tasks expected to finish early are throttled
+		// down individually even while others lag.
+		for _, i := range ahead {
+			if g := fc.gradeOf(fc.fgCores[i]); g > 0 {
+				fc.setGrade(fc.fgCores[i], g-1)
+				fc.fgThrottleCount++
+			}
+		}
+
+	case len(ahead) == len(status):
+		// Everyone comfortably ahead: give resources back to BG in the
+		// paper's order — resume paused, then speed up throttled, then
+		// throttle the FG itself. BG releases are rate-limited by the
+		// hold-off (FG-protecting actions above never are): releasing as
+		// fast as the 25 ms decision cadence lets a single fast execution
+		// unthrottle all BG tasks, which dooms the next execution and
+		// locks the controller into a miss/recover limit cycle. FG
+		// self-throttling needs no hold-off — it is reversed instantly by
+		// the boost path — and runs once nothing is left to release, which
+		// is what converts the remaining slack into on-time completions.
+		fc.aheadStreak++
+		anyPaused := false
+		for _, t := range fc.bgTasks {
+			if fc.paused(t) {
+				anyPaused = true
+				break
+			}
+		}
+		anyThrottled := false
+		for j, c := range fc.bgCores {
+			if fc.paused(fc.bgTasks[j]) {
+				continue
+			}
+			if fc.gradeOf(c) < topGrade {
+				anyThrottled = true
+				break
+			}
+		}
+		if anyPaused || anyThrottled {
+			if fc.aheadStreak < fc.cfg.SpeedupHoldoff {
+				break
+			}
+			fc.aheadStreak = 0
+			if fc.resumeAllPaused() {
+				fc.resumeCount++
+				break
+			}
+			for j, c := range fc.bgCores {
+				if fc.paused(fc.bgTasks[j]) {
+					continue
+				}
+				if g := fc.gradeOf(c); g < topGrade {
+					fc.setGrade(c, g+1)
+				}
+			}
+			fc.bgSpeedupCount++
+			break
+		}
+		for _, i := range ahead {
+			if g := fc.gradeOf(fc.fgCores[i]); g > 0 {
+				fc.setGrade(fc.fgCores[i], g-1)
+				fc.fgThrottleCount++
+			}
+		}
+	}
+
+	// Telemetry: are BG tasks heavily suppressed? The coarse controller's
+	// heuristic 3 (§4.3) reads this as "BG tasks are heavily throttled and
+	// their utilization of core resources is low": any task paused, or the
+	// active tasks' mean DVFS grade in the lower 60% of the range.
+	if len(fc.bgCores) > 0 {
+		pausedAny := false
+		gradeSum, active := 0, 0
+		for j, c := range fc.bgCores {
+			if fc.paused(fc.bgTasks[j]) {
+				pausedAny = true
+				continue
+			}
+			gradeSum += fc.gradeOf(c)
+			active++
+		}
+		suppressed := pausedAny
+		if !suppressed && active > 0 {
+			suppressed = float64(gradeSum)/float64(active) < 0.6*float64(topGrade)
+		}
+		if suppressed {
+			fc.bgSuppressed++
+		}
+	}
+
+	// Refresh the intrusiveness snapshot.
+	for _, t := range fc.bgTasks {
+		fc.missSnapshot[t] = fc.m.Counters().Task(t).LLCMisses
+	}
+	return nil
+}
+
+func (fc *FineController) paused(task int) bool {
+	p, err := fc.m.Paused(task)
+	return err == nil && p
+}
+
+// pauseMostIntrusive pauses the active BG task with the highest LLC miss
+// count since the last decision.
+func (fc *FineController) pauseMostIntrusive() {
+	bestTask := -1
+	bestMisses := -1.0
+	for _, t := range fc.bgTasks {
+		if fc.paused(t) {
+			continue
+		}
+		delta := fc.m.Counters().Task(t).LLCMisses - fc.missSnapshot[t]
+		if delta > bestMisses {
+			bestMisses = delta
+			bestTask = t
+		}
+	}
+	if bestTask >= 0 {
+		if err := fc.m.Pause(bestTask); err == nil {
+			fc.pausesIssued++
+		}
+	}
+}
+
+// resumeAllPaused resumes every paused BG task; reports whether any were.
+func (fc *FineController) resumeAllPaused() bool {
+	any := false
+	for _, t := range fc.bgTasks {
+		if fc.paused(t) {
+			if err := fc.m.Resume(t); err == nil {
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// Stats is the fine controller's decision telemetry.
+type Stats struct {
+	Decisions      int
+	BGSuppressed   int // decisions with all BG at min grade or paused
+	PausesIssued   int
+	FGThrottles    int
+	BGThrottles    int
+	BGSpeedups     int
+	Resumes        int
+	FGMaxBoosts    int
+	LastDecisionAt sim.Time
+}
+
+// Stats returns a copy of the telemetry counters.
+func (fc *FineController) Stats() Stats {
+	return Stats{
+		Decisions:      fc.decisions,
+		BGSuppressed:   fc.bgSuppressed,
+		PausesIssued:   fc.pausesIssued,
+		FGThrottles:    fc.fgThrottleCount,
+		BGThrottles:    fc.bgThrottleCount,
+		BGSpeedups:     fc.bgSpeedupCount,
+		Resumes:        fc.resumeCount,
+		FGMaxBoosts:    fc.fgMaxBoostCount,
+		LastDecisionAt: fc.lastDecisionTime,
+	}
+}
+
+// ResetStats zeroes the telemetry counters (the coarse controller reads and
+// resets them each window).
+func (fc *FineController) ResetStats() {
+	fc.decisions = 0
+	fc.bgSuppressed = 0
+	fc.pausesIssued = 0
+	fc.fgThrottleCount = 0
+	fc.bgThrottleCount = 0
+	fc.bgSpeedupCount = 0
+	fc.resumeCount = 0
+	fc.fgMaxBoostCount = 0
+}

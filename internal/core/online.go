@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dirigent/internal/sched"
+	"dirigent/internal/sim"
+)
+
+// OnlineProfileOptions configures in-place profiling.
+type OnlineProfileOptions struct {
+	// SamplePeriod is ΔT (default 5 ms).
+	SamplePeriod time.Duration
+	// WarmupExecutions run (still with BG paused) before the recorded one,
+	// so the profile reflects the FG task's steady-state cache contents.
+	// Default 1.
+	WarmupExecutions int
+	// Limit bounds the profiling in simulated time (default 10 minutes).
+	Limit time.Duration
+}
+
+// ProfileOnline implements the paper's §7 extension: instead of profiling
+// the FG benchmark offline on a dedicated machine, profile it in place by
+// pausing every background task in the collocation, recording one (or more)
+// isolated executions of the chosen FG stream, and resuming the background
+// tasks afterwards. "Because of the short profiling duration it can be
+// performed online, though it will require pausing all BG tasks while
+// profiling."
+//
+// The collocation must not already be driven by a Dirigent runtime during
+// profiling (the profiler needs the FG stream's completions for itself);
+// build the runtime with the returned profile afterwards.
+func ProfileOnline(colo *sched.Colocation, stream int, opts OnlineProfileOptions) (*Profile, error) {
+	if colo == nil {
+		return nil, fmt.Errorf("core: nil colocation")
+	}
+	fgs := colo.FG()
+	if stream < 0 || stream >= len(fgs) {
+		return nil, fmt.Errorf("core: stream %d out of range [0,%d)", stream, len(fgs))
+	}
+	if opts.SamplePeriod == 0 {
+		opts.SamplePeriod = DefaultSamplePeriod
+	}
+	if opts.WarmupExecutions == 0 {
+		opts.WarmupExecutions = 1
+	}
+	if opts.Limit == 0 {
+		opts.Limit = 10 * time.Minute
+	}
+	m := colo.Machine()
+	if opts.SamplePeriod < m.Config().Quantum {
+		return nil, fmt.Errorf("core: sample period %v finer than machine quantum %v",
+			opts.SamplePeriod, m.Config().Quantum)
+	}
+
+	// Pause every BG task (and remember which were already paused so their
+	// state is restored exactly).
+	var pausedByUs []int
+	for _, w := range colo.BG() {
+		p, err := m.Paused(w.Task)
+		if err != nil {
+			return nil, err
+		}
+		if p {
+			continue
+		}
+		if err := m.Pause(w.Task); err != nil {
+			return nil, err
+		}
+		pausedByUs = append(pausedByUs, w.Task)
+	}
+	defer func() {
+		for _, t := range pausedByUs {
+			// Resume cannot fail for tasks we just paused.
+			_ = m.Resume(t)
+		}
+	}()
+
+	f := fgs[stream]
+	task := f.Task
+	deadline := m.Now() + sim.Time(opts.Limit)
+
+	// Let the in-flight execution and the warmup executions drain. The
+	// stream's completion counter tells us where we are.
+	waitFor := f.Completed() + 1 + opts.WarmupExecutions
+	for f.Completed() < waitFor {
+		if m.Now() > deadline {
+			return nil, fmt.Errorf("core: online profiling warmup did not complete within %v", opts.Limit)
+		}
+		colo.Step()
+	}
+
+	// Record the next execution.
+	profile := &Profile{Benchmark: f.Bench.Name, SamplePeriod: opts.SamplePeriod}
+	ticker := sim.MustTicker(opts.SamplePeriod)
+	ticker.Reset(m.Now())
+	segStartTime := m.Now()
+	segStartInstr := m.Counters().Task(task).Instructions
+	done := f.Completed() + 1
+	for f.Completed() < done {
+		if m.Now() > deadline {
+			return nil, fmt.Errorf("core: online profiled execution did not complete within %v", opts.Limit)
+		}
+		colo.Step()
+		now := m.Now()
+		if f.Completed() >= done {
+			instr := m.Counters().Task(task).Instructions
+			if prog := instr - segStartInstr; prog > 0 {
+				profile.Segments = append(profile.Segments, Segment{
+					Progress: prog,
+					Duration: time.Duration(now - segStartTime),
+				})
+			}
+			break
+		}
+		if ticker.Fire(now) {
+			instr := m.Counters().Task(task).Instructions
+			profile.Segments = append(profile.Segments, Segment{
+				Progress: instr - segStartInstr,
+				Duration: time.Duration(now - segStartTime),
+			})
+			segStartTime = now
+			segStartInstr = instr
+		}
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return profile, nil
+}

@@ -1,0 +1,225 @@
+// Package core implements Dirigent itself — the paper's contribution: an
+// offline execution profiler (§4.1), an online execution-time predictor
+// (§4.2, Eq. 1 and Eq. 2), a fine time scale controller driving per-core
+// DVFS and task pausing, a coarse time scale controller driving LLC way
+// partitioning (§4.3), and the runtime that assembles them.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dirigent/internal/cache"
+	"dirigent/internal/machine"
+	"dirigent/internal/sim"
+	"dirigent/internal/workload"
+)
+
+// DefaultSamplePeriod is the paper's ΔT: 5 ms, chosen to balance overhead
+// and prediction granularity (§4.2).
+const DefaultSamplePeriod = 5 * time.Millisecond
+
+// Segment is one profiled sampling interval: the progress (retired
+// instructions) the FG task made in one ΔT while running alone.
+type Segment struct {
+	// Progress is instructions retired during the segment.
+	Progress float64 `json:"progress"`
+	// Duration is the measured segment length. Nominally ΔT; the final
+	// segment of an execution is usually shorter. The paper notes ΔT_i "can
+	// be slightly different than ΔT in the real implementation" and
+	// accounts for it — so do we.
+	Duration time.Duration `json:"duration"`
+}
+
+// Profile is the offline profiling record for one FG benchmark: a series of
+// (time, progress) pairs at ΔT granularity (§4.1, Fig. 3a).
+type Profile struct {
+	// Benchmark names the profiled FG benchmark.
+	Benchmark string `json:"benchmark"`
+	// SamplePeriod is ΔT.
+	SamplePeriod time.Duration `json:"sample_period"`
+	// Segments holds per-segment progress, in execution order.
+	Segments []Segment `json:"segments"`
+}
+
+// Validate checks internal consistency.
+func (p *Profile) Validate() error {
+	if p.Benchmark == "" {
+		return fmt.Errorf("core: profile has no benchmark name")
+	}
+	if p.SamplePeriod <= 0 {
+		return fmt.Errorf("core: profile sample period %v must be positive", p.SamplePeriod)
+	}
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("core: profile has no segments")
+	}
+	for i, s := range p.Segments {
+		if s.Progress <= 0 {
+			return fmt.Errorf("core: segment %d progress %g must be positive", i, s.Progress)
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("core: segment %d duration %v must be positive", i, s.Duration)
+		}
+	}
+	return nil
+}
+
+// TotalProgress returns the summed progress over all segments (≈ the
+// benchmark's instruction budget).
+func (p *Profile) TotalProgress() float64 {
+	sum := 0.0
+	for _, s := range p.Segments {
+		sum += s.Progress
+	}
+	return sum
+}
+
+// TotalDuration returns the standalone execution time recorded in the
+// profile.
+func (p *Profile) TotalDuration() time.Duration {
+	var sum time.Duration
+	for _, s := range p.Segments {
+		sum += s.Duration
+	}
+	return sum
+}
+
+// WriteTo serializes the profile as JSON.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ReadProfile deserializes a JSON profile and validates it.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ProfilerOptions configures offline profiling.
+type ProfilerOptions struct {
+	// SamplePeriod is ΔT (default 5 ms).
+	SamplePeriod time.Duration
+	// MachineConfig is the platform to profile on; zero value means the
+	// default machine.
+	MachineConfig machine.Config
+	// WarmupExecutions are discarded executions before the recorded one, so
+	// the profile reflects steady-state cache contents (the paper profiles
+	// "a stable profiling record"). Default 1.
+	WarmupExecutions int
+}
+
+func (o ProfilerOptions) withDefaults() ProfilerOptions {
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = DefaultSamplePeriod
+	}
+	if o.MachineConfig.Cores == 0 {
+		o.MachineConfig = machine.DefaultConfig()
+	}
+	if o.WarmupExecutions == 0 {
+		o.WarmupExecutions = 1
+	}
+	return o
+}
+
+// ProfileBenchmark runs the FG benchmark alone on a fresh simulated machine
+// and records its progress every ΔT (§4.1). This is the offline step of
+// Dirigent; its output feeds the online predictor.
+func ProfileBenchmark(b *workload.Benchmark, opts ProfilerOptions) (*Profile, error) {
+	if b == nil {
+		return nil, fmt.Errorf("core: nil benchmark")
+	}
+	if b.Kind != workload.Foreground {
+		return nil, fmt.Errorf("core: %s is not a foreground benchmark", b.Name)
+	}
+	opts = opts.withDefaults()
+	if opts.SamplePeriod < opts.MachineConfig.Quantum {
+		return nil, fmt.Errorf("core: sample period %v finer than machine quantum %v",
+			opts.SamplePeriod, opts.MachineConfig.Quantum)
+	}
+
+	m, err := machine.New(opts.MachineConfig)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.NewProgram(b)
+	if err != nil {
+		return nil, err
+	}
+	task, err := m.Launch(b.Name, prog, 0, cache.ClassID(0))
+	if err != nil {
+		return nil, err
+	}
+
+	// Warmup executions: run to completion, discard.
+	completions := 0
+	limit := sim.Time(10 * time.Minute)
+	for completions < opts.WarmupExecutions {
+		if m.Now() > limit {
+			return nil, fmt.Errorf("core: profiling warmup did not complete within %v", time.Duration(limit))
+		}
+		for _, c := range m.Step() {
+			if c.Task == task {
+				completions++
+			}
+		}
+	}
+
+	// Recorded execution: sample the instruction counter every ΔT until the
+	// next completion.
+	profile := &Profile{Benchmark: b.Name, SamplePeriod: opts.SamplePeriod}
+	ticker := sim.MustTicker(opts.SamplePeriod)
+	ticker.Reset(m.Now())
+	segStartTime := m.Now()
+	segStartInstr := m.Counters().Task(task).Instructions
+	done := false
+	for !done {
+		if m.Now() > limit {
+			return nil, fmt.Errorf("core: profiled execution did not complete within %v", time.Duration(limit))
+		}
+		for _, c := range m.Step() {
+			if c.Task == task {
+				done = true
+			}
+		}
+		now := m.Now()
+		if done {
+			// Final (usually partial) segment.
+			instr := m.Counters().Task(task).Instructions
+			if prog := instr - segStartInstr; prog > 0 {
+				profile.Segments = append(profile.Segments, Segment{
+					Progress: prog,
+					Duration: time.Duration(now - segStartTime),
+				})
+			}
+			break
+		}
+		if ticker.Fire(now) {
+			instr := m.Counters().Task(task).Instructions
+			profile.Segments = append(profile.Segments, Segment{
+				Progress: instr - segStartInstr,
+				Duration: time.Duration(now - segStartTime),
+			})
+			segStartTime = now
+			segStartInstr = instr
+		}
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return profile, nil
+}

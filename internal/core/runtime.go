@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dirigent/internal/sched"
+	"dirigent/internal/sim"
+)
+
+// DefaultOverhead is the measured cost of one Dirigent invocation
+// (predictor + throttler) on the paper's machine: under 100 µs (§4.2). The
+// simulated runtime charges this to the BG core it is pinned to.
+const DefaultOverhead = 100 * time.Microsecond
+
+// RuntimeConfig configures a Dirigent runtime instance.
+type RuntimeConfig struct {
+	// SamplePeriod is ΔT (default 5 ms). Must be at least the machine
+	// quantum.
+	SamplePeriod time.Duration
+	// DecisionSegments is the number of samples between control decisions
+	// (default 5, §4.3).
+	DecisionSegments int
+	// EMAWeight is the predictor's moving-average weight (default 0.2).
+	EMAWeight float64
+	// Overhead is charged to the runtime's core per invocation (default
+	// 100 µs; set negative to disable).
+	Overhead time.Duration
+	// Targets are the relative latency targets per FG stream; must match
+	// the colocation's FG count.
+	Targets []time.Duration
+	// Fine configures the fine time scale controller.
+	Fine FineConfig
+	// EnablePartitioning turns on the coarse time scale controller. The
+	// colocation must then use distinct FG and BG partition classes.
+	EnablePartitioning bool
+	// Coarse configures the coarse controller when enabled.
+	Coarse CoarseConfig
+}
+
+func (c RuntimeConfig) withDefaults() RuntimeConfig {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = DefaultSamplePeriod
+	}
+	if c.DecisionSegments == 0 {
+		c.DecisionSegments = DefaultDecisionSegments
+	}
+	if c.EMAWeight == 0 {
+		c.EMAWeight = DefaultEMAWeight
+	}
+	if c.Overhead == 0 {
+		c.Overhead = DefaultOverhead
+	}
+	return c
+}
+
+// Runtime is the assembled Dirigent system running over a collocation: it
+// samples FG progress every ΔT, predicts completion times, and drives the
+// fine (DVFS/pause) and coarse (partition) controllers.
+type Runtime struct {
+	colo *sched.Colocation
+	cfg  RuntimeConfig
+
+	preds   []*Predictor
+	targets []time.Duration
+
+	fine   *FineController
+	coarse *CoarseController
+
+	ticker        *sim.Ticker
+	sampleCounter int
+
+	// instrAtStart[i] is stream i's cumulative instruction counter at the
+	// start of its in-flight execution.
+	instrAtStart []float64
+
+	invocations int
+}
+
+// NewRuntime builds a Dirigent runtime over colo using one offline profile
+// per FG stream (parallel slices).
+func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) (*Runtime, error) {
+	if colo == nil {
+		return nil, fmt.Errorf("core: nil colocation")
+	}
+	cfg = cfg.withDefaults()
+	fgs := colo.FG()
+	if len(profiles) != len(fgs) {
+		return nil, fmt.Errorf("core: %d profiles for %d FG streams", len(profiles), len(fgs))
+	}
+	if len(cfg.Targets) != len(fgs) {
+		return nil, fmt.Errorf("core: %d targets for %d FG streams", len(cfg.Targets), len(fgs))
+	}
+	for i, tgt := range cfg.Targets {
+		if tgt <= 0 {
+			return nil, fmt.Errorf("core: target %d (%v) must be positive", i, tgt)
+		}
+	}
+	m := colo.Machine()
+	if cfg.SamplePeriod < m.Config().Quantum {
+		return nil, fmt.Errorf("core: sample period %v finer than machine quantum %v",
+			cfg.SamplePeriod, m.Config().Quantum)
+	}
+
+	r := &Runtime{
+		colo:         colo,
+		cfg:          cfg,
+		targets:      append([]time.Duration(nil), cfg.Targets...),
+		ticker:       sim.MustTicker(cfg.SamplePeriod),
+		instrAtStart: make([]float64, len(fgs)),
+	}
+	var fgTasks, fgCores, bgTasks, bgCores []int
+	for i, f := range fgs {
+		if profiles[i] == nil {
+			return nil, fmt.Errorf("core: nil profile for stream %d", i)
+		}
+		if profiles[i].Benchmark != f.Bench.Name {
+			return nil, fmt.Errorf("core: profile %q does not match stream benchmark %q",
+				profiles[i].Benchmark, f.Bench.Name)
+		}
+		pred, err := NewPredictor(profiles[i], cfg.EMAWeight)
+		if err != nil {
+			return nil, err
+		}
+		pred.BeginExecution(m.Now())
+		r.preds = append(r.preds, pred)
+		r.instrAtStart[i] = m.Counters().Task(f.Task).Instructions
+		fgTasks = append(fgTasks, f.Task)
+		fgCores = append(fgCores, f.Core)
+	}
+	for _, w := range colo.BG() {
+		bgTasks = append(bgTasks, w.Task)
+		bgCores = append(bgCores, w.Core)
+	}
+
+	fine, err := NewFineController(m, fgTasks, fgCores, bgTasks, bgCores, cfg.Fine)
+	if err != nil {
+		return nil, err
+	}
+	r.fine = fine
+
+	if cfg.EnablePartitioning {
+		if colo.FGClass() == colo.BGClass() {
+			return nil, fmt.Errorf("core: partitioning enabled but FG and BG share class %d", colo.FGClass())
+		}
+		coarse, err := NewCoarseController(m.LLC(), colo.FGClass(), colo.BGClass(), cfg.Coarse)
+		if err != nil {
+			return nil, err
+		}
+		r.coarse = coarse
+	}
+
+	r.ticker.Reset(m.Now())
+	colo.OnComplete(r.onComplete)
+	return r, nil
+}
+
+// MustRuntime is NewRuntime that panics on error.
+func MustRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) *Runtime {
+	r, err := NewRuntime(colo, profiles, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Colocation returns the managed collocation.
+func (r *Runtime) Colocation() *sched.Colocation { return r.colo }
+
+// Predictors returns the per-stream predictors (for evaluation probes).
+func (r *Runtime) Predictors() []*Predictor { return r.preds }
+
+// Fine returns the fine controller (telemetry access).
+func (r *Runtime) Fine() *FineController { return r.fine }
+
+// Coarse returns the coarse controller, or nil when partitioning is off.
+func (r *Runtime) Coarse() *CoarseController { return r.coarse }
+
+// Targets returns the per-stream relative latency targets.
+func (r *Runtime) Targets() []time.Duration {
+	return append([]time.Duration(nil), r.targets...)
+}
+
+// SetTarget changes a stream's latency target (used by the tradeoff sweep,
+// §5.5).
+func (r *Runtime) SetTarget(stream int, target time.Duration) error {
+	if stream < 0 || stream >= len(r.targets) {
+		return fmt.Errorf("core: stream %d out of range", stream)
+	}
+	if target <= 0 {
+		return fmt.Errorf("core: target %v must be positive", target)
+	}
+	r.targets[stream] = target
+	return nil
+}
+
+// Invocations returns how many runtime invocations (samples) have occurred.
+func (r *Runtime) Invocations() int { return r.invocations }
+
+// onComplete handles an FG execution boundary: closes out the predictor,
+// records the execution for the coarse controller, and opens the next
+// execution.
+func (r *Runtime) onComplete(stream int, e sched.Execution) {
+	pred := r.preds[stream]
+	if pred.Started() {
+		// FinishExecution resolves remaining milestones; errors indicate a
+		// logic bug (time/progress monotonicity is guaranteed here).
+		if err := pred.FinishExecution(e.End); err != nil {
+			panic(fmt.Sprintf("core: finish execution: %v", err))
+		}
+	}
+	if r.coarse != nil {
+		missed := e.Duration > r.targets[stream]
+		r.coarse.RecordExecution(e.Duration.Seconds(), e.LLCMisses, missed)
+		if r.coarse.Due() {
+			if _, err := r.coarse.Adjust(r.fine.Stats()); err != nil {
+				panic(fmt.Sprintf("core: coarse adjust: %v", err))
+			}
+			r.fine.ResetStats()
+		}
+	}
+	pred.BeginExecution(e.End)
+	f := r.colo.FG()[stream]
+	r.instrAtStart[stream] = r.colo.Machine().Counters().Task(f.Task).Instructions
+}
+
+// Step advances the collocation one quantum and runs the Dirigent sampling/
+// control loop when ΔT elapses.
+func (r *Runtime) Step() error {
+	r.colo.Step()
+	m := r.colo.Machine()
+	now := m.Now()
+	if !r.ticker.Fire(now) {
+		return nil
+	}
+	r.invocations++
+
+	// The runtime thread is pinned to a core shared with a BG task; each
+	// invocation steals its overhead from that core (§4.2, §5.1).
+	if r.cfg.Overhead > 0 {
+		if err := m.ChargeOverhead(r.colo.RuntimeCore(), r.cfg.Overhead); err != nil {
+			return err
+		}
+	}
+
+	// Sample every FG stream's progress and update its predictor,
+	// informing it of the core's current DVFS state so self-throttling is
+	// not mistaken for interference.
+	nominal := m.Config().FreqLevelsGHz[m.MaxFreqLevel()]
+	for i, f := range r.colo.FG() {
+		if f_cur, err := m.FreqGHz(f.Core); err == nil && f_cur > 0 {
+			r.preds[i].SetFrequencyFactor(nominal / f_cur)
+		}
+		progress := m.Counters().Task(f.Task).Instructions - r.instrAtStart[i]
+		if err := r.preds[i].Observe(now, progress); err != nil {
+			return fmt.Errorf("core: observe stream %d: %w", i, err)
+		}
+	}
+
+	// Control decision every DecisionSegments samples.
+	r.sampleCounter++
+	if r.sampleCounter < r.cfg.DecisionSegments {
+		return nil
+	}
+	r.sampleCounter = 0
+
+	status := make([]FGStatus, len(r.preds))
+	for i, pred := range r.preds {
+		predicted, err := pred.Predict(now)
+		if err != nil {
+			return fmt.Errorf("core: predict stream %d: %w", i, err)
+		}
+		status[i] = FGStatus{
+			Predicted: predicted,
+			Deadline:  pred.ExecStart() + sim.Time(r.targets[i]),
+			Target:    r.targets[i],
+		}
+	}
+	return r.fine.Decide(now, status)
+}
+
+// Run advances until the given simulated time.
+func (r *Runtime) Run(until sim.Time) error {
+	for r.colo.Machine().Now() < until {
+		if err := r.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunExecutions advances until every FG stream has completed at least n
+// executions, with a simulated-time limit.
+func (r *Runtime) RunExecutions(n int, limit sim.Time) error {
+	for {
+		minDone := -1
+		for _, f := range r.colo.FG() {
+			if minDone < 0 || f.Completed() < minDone {
+				minDone = f.Completed()
+			}
+		}
+		if minDone >= n {
+			return nil
+		}
+		if r.colo.Machine().Now() >= limit {
+			return fmt.Errorf("core: only %d/%d executions within %v", minDone, n, time.Duration(limit))
+		}
+		if err := r.Step(); err != nil {
+			return err
+		}
+	}
+}

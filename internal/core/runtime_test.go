@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dirigent/internal/cache"
+	"dirigent/internal/machine"
+	"dirigent/internal/sched"
+	"dirigent/internal/sim"
+	"dirigent/internal/stats"
+	"dirigent/internal/workload"
+)
+
+// buildColo assembles a machine + colocation for runtime tests. When
+// partitioned is true, FG and BG get distinct LLC classes.
+func buildColo(t *testing.T, fg []string, bg string, partitioned bool, seed uint64) *sched.Colocation {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	m := machine.MustNew(cfg)
+	opts := sched.Options{Seed: seed}
+	if partitioned {
+		fgClass := m.LLC().DefineClass()
+		bgClass := m.LLC().DefineClass()
+		if err := m.LLC().SetPartition(map[cache.ClassID]int{0: 0, fgClass: 10, bgClass: 10}); err != nil {
+			t.Fatal(err)
+		}
+		opts.FGClass = fgClass
+		opts.BGClass = bgClass
+	}
+	var fgb []*workload.Benchmark
+	for _, n := range fg {
+		fgb = append(fgb, workload.MustByName(n))
+	}
+	specs := make([]sched.BGSpec, 6-len(fg))
+	for i := range specs {
+		specs[i] = sched.BGSpec{Bench: workload.MustByName(bg)}
+	}
+	colo, err := sched.New(m, fgb, specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return colo
+}
+
+func profileFor(t *testing.T, name string) *Profile {
+	t.Helper()
+	p, err := ProfileBenchmark(workload.MustByName(name), ProfilerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	colo := buildColo(t, []string{"fluidanimate"}, "namd", false, 1)
+	prof := profileFor(t, "fluidanimate")
+	target := []time.Duration{600 * time.Millisecond}
+
+	if _, err := NewRuntime(nil, []*Profile{prof}, RuntimeConfig{Targets: target}); err == nil {
+		t.Error("nil colocation should error")
+	}
+	if _, err := NewRuntime(colo, nil, RuntimeConfig{Targets: target}); err == nil {
+		t.Error("profile count mismatch should error")
+	}
+	if _, err := NewRuntime(colo, []*Profile{nil}, RuntimeConfig{Targets: target}); err == nil {
+		t.Error("nil profile should error")
+	}
+	wrong := profileFor(t, "ferret")
+	if _, err := NewRuntime(colo, []*Profile{wrong}, RuntimeConfig{Targets: target}); err == nil {
+		t.Error("mismatched profile benchmark should error")
+	}
+	if _, err := NewRuntime(colo, []*Profile{prof}, RuntimeConfig{}); err == nil {
+		t.Error("missing targets should error")
+	}
+	if _, err := NewRuntime(colo, []*Profile{prof}, RuntimeConfig{Targets: []time.Duration{-1}}); err == nil {
+		t.Error("negative target should error")
+	}
+	if _, err := NewRuntime(colo, []*Profile{prof}, RuntimeConfig{Targets: target, SamplePeriod: time.Nanosecond}); err == nil {
+		t.Error("sample period below quantum should error")
+	}
+	// Partitioning without distinct classes.
+	if _, err := NewRuntime(colo, []*Profile{prof}, RuntimeConfig{Targets: target, EnablePartitioning: true}); err == nil {
+		t.Error("partitioning with shared class should error")
+	}
+}
+
+func TestRuntimeReducesVariance(t *testing.T) {
+	// The headline claim (§5.4): Dirigent cuts execution-time variance
+	// dramatically versus free-running contention, at modest BG cost.
+	if testing.Short() {
+		t.Skip("long end-to-end test")
+	}
+	const execs = 50
+	fg, bgName := "bodytrack", "pca"
+
+	// Baseline: free contention.
+	base := buildColo(t, []string{fg}, bgName, false, 3)
+	if err := base.RunExecutions(execs, sim.Time(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	baseDur := base.FG()[0].Durations()[5:]
+	baseStats, _ := stats.Summarize(baseDur)
+	baseBG := base.BGInstructions()
+	target := time.Duration((baseStats.Mean + 0.3*baseStats.Std) * float64(time.Second))
+
+	// Dirigent (full: fine + coarse).
+	colo := buildColo(t, []string{fg}, bgName, true, 3)
+	rt := MustRuntime(colo, []*Profile{profileFor(t, fg)}, RuntimeConfig{
+		Targets:            []time.Duration{target},
+		EnablePartitioning: true,
+	})
+	// Extra executions cover the coarse controller's partition convergence
+	// (~32 executions, §5.3); statistics reflect converged behaviour.
+	if err := rt.RunExecutions(execs+32, sim.Time(30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	dirDur := colo.FG()[0].Durations()[37:]
+	dirStats, _ := stats.Summarize(dirDur)
+
+	// Variance reduction: paper reports 85% std reduction on average; we
+	// require at least 50% on this single mix.
+	if dirStats.Std > baseStats.Std*0.6 {
+		t.Errorf("std: baseline %.4f, dirigent %.4f — want >=40%% reduction", baseStats.Std, dirStats.Std)
+	}
+	// Success rate ≥ 95% against the target.
+	okCount := 0
+	for _, d := range dirDur {
+		if d <= target.Seconds() {
+			okCount++
+		}
+	}
+	if rate := float64(okCount) / float64(len(dirDur)); rate < 0.95 {
+		t.Errorf("success rate = %.2f, want >= 0.95", rate)
+	}
+	// BG throughput: normalize by elapsed time (runs cover the same number
+	// of FG executions, not the same wall time).
+	baseRate := baseBG / float64(base.Machine().Now())
+	dirRate := colo.BGInstructions() / float64(colo.Machine().Now())
+	if ratio := dirRate / baseRate; ratio < 0.5 {
+		t.Errorf("BG throughput ratio = %.2f, implausibly low", ratio)
+	}
+	if rt.Invocations() == 0 {
+		t.Error("runtime never invoked")
+	}
+}
+
+func TestRuntimeMeetsTightAndLooseTargets(t *testing.T) {
+	// §5.5: Dirigent tracks the target across a range. A loose target lets
+	// the FG run slower (mean stretches toward the target) while BG gains.
+	if testing.Short() {
+		t.Skip("long end-to-end test")
+	}
+	fg := "raytrace"
+	prof := profileFor(t, fg)
+	run := func(target time.Duration) (mean float64, bgRate float64) {
+		colo := buildColo(t, []string{fg}, "bwaves", true, 5)
+		rt := MustRuntime(colo, []*Profile{prof}, RuntimeConfig{
+			Targets:            []time.Duration{target},
+			EnablePartitioning: true,
+		})
+		if err := rt.RunExecutions(30, sim.Time(20*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		durs := colo.FG()[0].Durations()[5:]
+		s, _ := stats.Summarize(durs)
+		return s.Mean, colo.BGInstructions() / float64(colo.Machine().Now())
+	}
+	meanTight, bgTight := run(800 * time.Millisecond)
+	meanLoose, bgLoose := run(1100 * time.Millisecond)
+	if meanLoose <= meanTight {
+		t.Errorf("loose target should stretch FG time: tight %.3f, loose %.3f", meanTight, meanLoose)
+	}
+	if bgLoose <= bgTight {
+		t.Errorf("loose target should raise BG throughput: tight %.3g, loose %.3g", bgTight, bgLoose)
+	}
+}
+
+func TestRuntimeSetTarget(t *testing.T) {
+	colo := buildColo(t, []string{"fluidanimate"}, "namd", false, 1)
+	rt := MustRuntime(colo, []*Profile{profileFor(t, "fluidanimate")}, RuntimeConfig{
+		Targets: []time.Duration{600 * time.Millisecond},
+	})
+	if err := rt.SetTarget(0, 700*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Targets()[0] != 700*time.Millisecond {
+		t.Errorf("Targets = %v", rt.Targets())
+	}
+	if err := rt.SetTarget(1, time.Second); err == nil {
+		t.Error("out-of-range stream should error")
+	}
+	if err := rt.SetTarget(0, 0); err == nil {
+		t.Error("zero target should error")
+	}
+	if rt.Fine() == nil {
+		t.Error("Fine accessor nil")
+	}
+	if rt.Coarse() != nil {
+		t.Error("Coarse should be nil when partitioning disabled")
+	}
+	if rt.Colocation() != colo {
+		t.Error("Colocation accessor wrong")
+	}
+	if len(rt.Predictors()) != 1 {
+		t.Error("Predictors accessor wrong")
+	}
+}
+
+func TestRuntimeChargesOverheadToBGCore(t *testing.T) {
+	// With overhead enabled, the BG task sharing the runtime core retires
+	// fewer instructions than without.
+	run := func(overhead time.Duration) float64 {
+		colo := buildColo(t, []string{"fluidanimate"}, "namd", false, 9)
+		rt := MustRuntime(colo, []*Profile{profileFor(t, "fluidanimate")}, RuntimeConfig{
+			Targets:  []time.Duration{time.Hour}, // never behind: no control actions
+			Overhead: overhead,
+		})
+		if err := rt.Run(sim.Time(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		bgTask := colo.BG()[0].Task
+		return colo.Machine().Counters().Task(bgTask).Instructions
+	}
+	with := run(DefaultOverhead)
+	without := run(-1)
+	if with >= without {
+		t.Errorf("overhead should cost the runtime core's BG: with %.4g, without %.4g", with, without)
+	}
+	if with < without*0.95 {
+		t.Errorf("100µs/5ms overhead should cost ~2%%: with %.4g, without %.4g", with, without)
+	}
+}
+
+func TestRuntimeCoarseControllerEngages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long end-to-end test")
+	}
+	// streamcluster + pca is the paper's partition-hungry mix (§5.3): the
+	// coarse controller must move the partition away from its start.
+	colo := buildColo(t, []string{"streamcluster"}, "pca", true, 7)
+	// A target between the 2-way and 5-way static means (Fig. 8) forces
+	// the partition to grow from the minimal start.
+	rt := MustRuntime(colo, []*Profile{profileFor(t, "streamcluster")}, RuntimeConfig{
+		Targets:            []time.Duration{1680 * time.Millisecond},
+		EnablePartitioning: true,
+	})
+	if err := rt.RunExecutions(40, sim.Time(30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Coarse().Adjustments() == 0 {
+		t.Error("coarse controller never adjusted the partition")
+	}
+	if rt.Coarse().FGWays() <= 2 {
+		t.Errorf("FG ways = %d, expected growth from the minimal start", rt.Coarse().FGWays())
+	}
+}
+
+func TestRuntimeMultiFG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long end-to-end test")
+	}
+	colo := buildColo(t, []string{"fluidanimate", "raytrace"}, "bwaves", true, 11)
+	profs := []*Profile{profileFor(t, "fluidanimate"), profileFor(t, "raytrace")}
+	rt := MustRuntime(colo, profs, RuntimeConfig{
+		Targets:            []time.Duration{750 * time.Millisecond, 1000 * time.Millisecond},
+		EnablePartitioning: true,
+	})
+	if err := rt.RunExecutions(25, sim.Time(20*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range colo.FG() {
+		durs := f.Durations()[5:]
+		ok := 0
+		for _, d := range durs {
+			if d <= rt.Targets()[i].Seconds() {
+				ok++
+			}
+		}
+		if rate := float64(ok) / float64(len(durs)); rate < 0.9 {
+			t.Errorf("stream %d (%s) success rate = %.2f, want >= 0.9", i, f.Bench.Name, rate)
+		}
+	}
+}
+
+func TestRuntimeDeterminism(t *testing.T) {
+	run := func() (sim.Time, int) {
+		colo := buildColo(t, []string{"fluidanimate"}, "rs", true, 21)
+		rt := MustRuntime(colo, []*Profile{profileFor(t, "fluidanimate")}, RuntimeConfig{
+			Targets:            []time.Duration{700 * time.Millisecond},
+			EnablePartitioning: true,
+		})
+		if err := rt.RunExecutions(10, sim.Time(5*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		return colo.Machine().Now(), rt.Coarse().FGWays()
+	}
+	t1, w1 := run()
+	t2, w2 := run()
+	if t1 != t2 || w1 != w2 {
+		t.Errorf("runtime not deterministic: (%v,%d) vs (%v,%d)", t1, w1, t2, w2)
+	}
+}

@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"dirigent/internal/config"
+)
+
+// smallRunner keeps experiment tests fast: fewer executions, same defaults
+// otherwise.
+func smallRunner() *Runner {
+	r := NewRunner()
+	r.Executions = 24
+	r.Warmup = 4
+	r.CalibExecutions = 10
+	return r
+}
+
+func TestRunnerProfileCache(t *testing.T) {
+	r := smallRunner()
+	p1, err := r.Profile("ferret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Profile("ferret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("profile should be cached")
+	}
+	if _, err := r.Profile("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := r.Profile("bwaves"); err == nil {
+		t.Error("BG benchmark should error")
+	}
+}
+
+func TestRunMixAllConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mix run")
+	}
+	r := smallRunner()
+	mix := Mix{Name: "bodytrack pca", FG: []string{"bodytrack"}, BG: repeat("pca", 5)}
+	res, err := r.RunMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deadlines) != 1 || res.Deadlines[0] <= 0 {
+		t.Fatalf("Deadlines = %v", res.Deadlines)
+	}
+	for _, c := range config.Names() {
+		run := res.ByConfig[c]
+		if run == nil {
+			t.Fatalf("missing config %s", c)
+		}
+		if run.Config != c {
+			t.Errorf("run config = %s, want %s", run.Config, c)
+		}
+		if len(run.Streams) != 1 {
+			t.Fatalf("%s: %d streams", c, len(run.Streams))
+		}
+		s := run.Streams[0]
+		if s.Summary.Mean <= 0 || len(s.Durations) == 0 {
+			t.Errorf("%s: empty stream stats", c)
+		}
+		if s.Deadline != res.Deadlines[0] {
+			t.Errorf("%s: stream deadline %g != %g", c, s.Deadline, res.Deadlines[0])
+		}
+		if s.SuccessRate < 0 || s.SuccessRate > 1 {
+			t.Errorf("%s: success rate %g", c, s.SuccessRate)
+		}
+		if run.BGInstrRate <= 0 {
+			t.Errorf("%s: BG rate %g", c, run.BGInstrRate)
+		}
+		if run.Elapsed <= 0 {
+			t.Errorf("%s: elapsed %v", c, run.Elapsed)
+		}
+	}
+
+	// Deadline math: µ + 0.3σ of baseline.
+	base := res.ByConfig[config.Baseline].Streams[0]
+	want := base.Summary.Mean + DeadlineSigma*base.Summary.Std
+	if d := res.Deadlines[0]; d != want {
+		t.Errorf("deadline = %g, want %g", d, want)
+	}
+
+	// Baseline is its own BG reference.
+	if got := res.RelBGThroughput(config.Baseline); got != 1 {
+		t.Errorf("baseline RelBGThroughput = %g", got)
+	}
+	if got := res.RelStd(config.Baseline); got != 1 {
+		t.Errorf("baseline RelStd = %g", got)
+	}
+
+	// Shape expectations (the paper's headline directions).
+	dir := res.ByConfig[config.Dirigent]
+	if dir.MeanSuccessRate() < 0.9 {
+		t.Errorf("Dirigent success = %g, want >= 0.9", dir.MeanSuccessRate())
+	}
+	if res.RelStd(config.Dirigent) > 0.7 {
+		t.Errorf("Dirigent rel std = %g, want < 0.7", res.RelStd(config.Dirigent))
+	}
+	if dir.FGWays == 0 {
+		t.Error("Dirigent run should record a partition")
+	}
+	sf := res.ByConfig[config.StaticFreq]
+	if res.RelBGThroughput(config.StaticFreq) >= 1 {
+		t.Errorf("StaticFreq should cost BG throughput: %g", res.RelBGThroughput(config.StaticFreq))
+	}
+	if sf.StaticBGLevel != 0 {
+		t.Errorf("StaticFreq BG level = %d", sf.StaticBGLevel)
+	}
+	sb := res.ByConfig[config.StaticBoth]
+	if sb.FGWays == 0 {
+		t.Error("StaticBoth should record its partition")
+	}
+	if sb.StaticBGLevel < 0 {
+		t.Error("StaticBoth should record its calibrated BG level")
+	}
+	if sb.MinSuccessRate() > sb.MeanSuccessRate() {
+		t.Error("min success cannot exceed mean")
+	}
+
+	// Frequency residency recorded for the runtime configs.
+	df := res.ByConfig[config.DirigentFreq]
+	var total time.Duration
+	for _, d := range df.BGFreqResidency {
+		total += d
+	}
+	if total <= 0 {
+		t.Error("DirigentFreq should record BG frequency residency")
+	}
+	if df.Fine.Decisions == 0 {
+		t.Error("DirigentFreq should record fine controller decisions")
+	}
+}
+
+func TestRunMixesParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel mix run")
+	}
+	r := smallRunner()
+	mixes := []Mix{
+		{Name: "fluidanimate namd x", FG: []string{"fluidanimate"}, BG: repeat("lbm+namd", 5)},
+		{Name: "raytrace pca", FG: []string{"raytrace"}, BG: repeat("pca", 5)},
+	}
+	got, err := r.RunMixes(mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("results = %d", len(got))
+	}
+	for i, res := range got {
+		if res.Mix.Name != mixes[i].Name {
+			t.Errorf("result %d order wrong: %s", i, res.Mix.Name)
+		}
+	}
+	// Rerunning a mix alone reproduces the same numbers (determinism even
+	// across parallel scheduling).
+	again, err := r.RunMix(mixes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := got[1].ByConfig[config.Dirigent].Streams[0].Summary
+	b := again.ByConfig[config.Dirigent].Streams[0].Summary
+	if a.Mean != b.Mean || a.Std != b.Std {
+		t.Errorf("parallel vs solo mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunMixInvalid(t *testing.T) {
+	r := smallRunner()
+	if _, err := r.RunMix(Mix{Name: "bad"}); err == nil {
+		t.Error("invalid mix should error")
+	}
+	if _, err := r.RunMixes([]Mix{{Name: "bad"}}); err == nil {
+		t.Error("invalid mix in batch should error")
+	}
+}
+
+func TestRunResultHelpers(t *testing.T) {
+	rr := &RunResult{Streams: []StreamResult{{SuccessRate: 0.8}, {SuccessRate: 1.0}}}
+	if got := rr.MinSuccessRate(); got != 0.8 {
+		t.Errorf("MinSuccessRate = %g", got)
+	}
+	if got := rr.MeanSuccessRate(); got != 0.9 {
+		t.Errorf("MeanSuccessRate = %g", got)
+	}
+	empty := &RunResult{}
+	if empty.MeanSuccessRate() != 0 || empty.MeanStd() != 0 {
+		t.Error("empty result helpers should be 0")
+	}
+	if empty.TotalMPKFGI() != 0 || empty.FGMissShare() != 0 {
+		t.Error("empty counters should yield 0 metrics")
+	}
+	full := &RunResult{TotalLLCMisses: 200, FGLLCMisses: 50, FGInstructions: 1e6}
+	if got := full.TotalMPKFGI(); got != 0.2 {
+		t.Errorf("TotalMPKFGI = %g", got)
+	}
+	if got := full.FGMissShare(); got != 0.25 {
+		t.Errorf("FGMissShare = %g", got)
+	}
+}

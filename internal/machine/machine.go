@@ -1,0 +1,530 @@
+// Package machine assembles the simulated multicore: cores with per-core
+// DVFS, the way-partitioned LLC, the contended memory system, and the
+// performance-counter file. It mirrors the paper's evaluation platform — a
+// 6-core Intel Xeon E5-2618L v3 at a nominal 2 GHz with nine frequency
+// steps from 1.2 to 2.0 GHz, a 15 MB 20-way L3 with Intel CAT, and four
+// DDR4-2133 channels (§5.1).
+//
+// The machine is an interval simulator. Each call to Step advances one
+// quantum (100 µs by default) and resolves, for every running task, the
+// coupled system
+//
+//	instructions ← cycles / CPI_eff
+//	CPI_eff      ← BaseCPI·jitter + missPerInstr · memLatency(U)·f / MLP
+//	U            ← Σ missBytes / (peakBandwidth · Δq)
+//
+// by damped fixed-point iteration, then commits the result: performance
+// counters are charged, LLC occupancy advances (cache inertia), memory
+// counters advance, and programs retire instructions. Foreground program
+// completions are returned as events.
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"dirigent/internal/cache"
+	"dirigent/internal/mem"
+	"dirigent/internal/perf"
+	"dirigent/internal/sim"
+	"dirigent/internal/workload"
+)
+
+// BytesPerMiss is the memory traffic per LLC miss: a 64 B fill plus an
+// amortized writeback/overfetch, matching measured DRAM traffic per miss on
+// the platform class.
+const BytesPerMiss = 2 * cache.LineSize
+
+// solverIterations is the number of damped fixed-point iterations per
+// quantum. Four is enough for <1% residual at the quantum scale.
+const solverIterations = 4
+
+// Config describes a machine.
+type Config struct {
+	// Cores is the number of cores (6 on the evaluation machine).
+	Cores int
+	// FreqLevelsGHz are the per-core DVFS operating points, ascending. The
+	// evaluation machine exposes 1.2–2.0 GHz in 0.1 GHz steps.
+	FreqLevelsGHz []float64
+	// Quantum is the simulation step.
+	Quantum time.Duration
+	// Cache configures the LLC.
+	Cache cache.Config
+	// Memory configures the memory system.
+	Memory mem.Config
+	// Seed drives all stochastic behaviour (OS-noise jitter).
+	Seed uint64
+	// SlowJitterSigma is the lognormal sigma of the slowly-varying
+	// component of OS noise (interrupt pressure, scheduler placement,
+	// thermal state). Unlike the per-quantum benchmark jitter, which
+	// averages out over a full execution, this component is held for
+	// SlowJitterPeriod at a time and therefore survives into per-execution
+	// variance — the residual run-to-run noise every real system exhibits
+	// even for compute-bound tasks.
+	SlowJitterSigma float64
+	// SlowJitterPeriod is how long each slow-noise draw is held.
+	SlowJitterPeriod time.Duration
+}
+
+// DefaultConfig mirrors the paper's platform.
+func DefaultConfig() Config {
+	return Config{
+		Cores:            6,
+		FreqLevelsGHz:    []float64{1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0},
+		Quantum:          sim.DefaultQuantum,
+		Cache:            cache.DefaultConfig(),
+		Memory:           mem.DefaultConfig(),
+		Seed:             1,
+		SlowJitterSigma:  0.03,
+		SlowJitterPeriod: 750 * time.Millisecond,
+	}
+}
+
+// Completion reports that a foreground task finished one execution.
+type Completion struct {
+	// Task is the task handle.
+	Task int
+	// At is the simulated time at the end of the completing quantum.
+	At sim.Time
+}
+
+// Task is the machine's view of a running process.
+type task struct {
+	id      int
+	name    string
+	program *workload.Program
+	core    int
+	paused  bool
+	jitter  *sim.Rand
+
+	// Slow OS-noise state: the current multiplier and when to redraw.
+	slowJitter float64
+	slowUntil  sim.Time
+}
+
+// Machine is the simulated multicore system. Not safe for concurrent use.
+type Machine struct {
+	cfg      Config
+	clock    *sim.Clock
+	llc      *cache.LLC
+	memory   *mem.Memory
+	counters *perf.Counters
+
+	coreFreq []int   // frequency level index per core
+	coreTask []*task // nil when idle
+	tasks    map[int]*task
+	nextID   int
+
+	// overheadOwed is per-core time stolen by runtime invocations (the
+	// Dirigent runtime is pinned to a BG core and charges ~100 µs per
+	// invocation, §4.2); it is consumed from that core's next quanta.
+	overheadOwed []time.Duration
+
+	// freqResidency accumulates time spent at each frequency level per
+	// core, for Fig. 12.
+	freqResidency [][]time.Duration
+
+	lastUtilization float64
+	rng             *sim.Rand
+
+	// scratch buffers reused across Step calls to avoid per-quantum
+	// allocation.
+	scratchTraffic []cache.Traffic
+	scratchInstr   []float64
+	scratchJitter  []float64
+}
+
+// New validates cfg and builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("machine: core count %d must be positive", cfg.Cores)
+	}
+	if len(cfg.FreqLevelsGHz) == 0 {
+		return nil, fmt.Errorf("machine: no frequency levels")
+	}
+	for i, f := range cfg.FreqLevelsGHz {
+		if f <= 0 {
+			return nil, fmt.Errorf("machine: frequency level %d (%g GHz) must be positive", i, f)
+		}
+		if i > 0 && f <= cfg.FreqLevelsGHz[i-1] {
+			return nil, fmt.Errorf("machine: frequency levels must be strictly ascending")
+		}
+	}
+	clock, err := sim.NewClock(cfg.Quantum)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	memory, err := mem.New(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	counters, err := perf.New(cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:           cfg,
+		clock:         clock,
+		llc:           llc,
+		memory:        memory,
+		counters:      counters,
+		coreFreq:      make([]int, cfg.Cores),
+		coreTask:      make([]*task, cfg.Cores),
+		tasks:         map[int]*task{},
+		nextID:        1,
+		overheadOwed:  make([]time.Duration, cfg.Cores),
+		freqResidency: make([][]time.Duration, cfg.Cores),
+		rng:           sim.NewRand(cfg.Seed),
+		scratchInstr:  make([]float64, cfg.Cores),
+		scratchJitter: make([]float64, cfg.Cores),
+	}
+	// Cores start at maximum frequency.
+	top := len(cfg.FreqLevelsGHz) - 1
+	for c := range m.coreFreq {
+		m.coreFreq[c] = top
+		m.freqResidency[c] = make([]time.Duration, len(cfg.FreqLevelsGHz))
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current simulated time.
+func (m *Machine) Now() sim.Time { return m.clock.Now() }
+
+// LLC exposes the cache for partition control (the coarse controller's
+// CAT interface).
+func (m *Machine) LLC() *cache.LLC { return m.llc }
+
+// Memory exposes the memory system for observability.
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// Counters exposes the performance-counter file.
+func (m *Machine) Counters() *perf.Counters { return m.counters }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return m.cfg.Cores }
+
+// Launch places a program on an idle core, registers it with the LLC in the
+// given partition class, and returns a task handle.
+func (m *Machine) Launch(name string, prog *workload.Program, core int, class cache.ClassID) (int, error) {
+	if err := m.checkCore(core); err != nil {
+		return 0, err
+	}
+	if m.coreTask[core] != nil {
+		return 0, fmt.Errorf("machine: core %d already runs task %d", core, m.coreTask[core].id)
+	}
+	if prog == nil {
+		return 0, fmt.Errorf("machine: nil program")
+	}
+	id := m.nextID
+	if err := m.llc.Register(id, class); err != nil {
+		return 0, err
+	}
+	m.nextID++
+	t := &task{id: id, name: name, program: prog, core: core, jitter: m.rng.Split(), slowJitter: 1}
+	m.tasks[id] = t
+	m.coreTask[core] = t
+	return id, nil
+}
+
+// Kill removes a task from the machine and frees its cache footprint.
+func (m *Machine) Kill(taskID int) error {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	m.coreTask[t.core] = nil
+	delete(m.tasks, taskID)
+	m.llc.Unregister(taskID)
+	return nil
+}
+
+// SetProgram swaps the program a task runs (used by rotate-BG workloads
+// when the collocated benchmark "context switches").
+func (m *Machine) SetProgram(taskID int, prog *workload.Program) error {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	if prog == nil {
+		return fmt.Errorf("machine: nil program")
+	}
+	t.program = prog
+	return nil
+}
+
+// SetClass moves a task to a different LLC partition class.
+func (m *Machine) SetClass(taskID int, class cache.ClassID) error {
+	if _, ok := m.tasks[taskID]; !ok {
+		return fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	return m.llc.Register(taskID, class)
+}
+
+// Pause stops a task from executing; its core idles and its cache occupancy
+// decays under pressure from active tasks.
+func (m *Machine) Pause(taskID int) error {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	t.paused = true
+	return nil
+}
+
+// Resume restarts a paused task.
+func (m *Machine) Resume(taskID int) error {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	t.paused = false
+	return nil
+}
+
+// Paused reports whether a task is paused.
+func (m *Machine) Paused(taskID int) (bool, error) {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return false, fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	return t.paused, nil
+}
+
+// TaskCore returns the core a task is pinned to.
+func (m *Machine) TaskCore(taskID int) (int, error) {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return 0, fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	return t.core, nil
+}
+
+// TaskName returns a task's name.
+func (m *Machine) TaskName(taskID int) (string, error) {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return "", fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	return t.name, nil
+}
+
+// Program returns the program a task currently runs.
+func (m *Machine) Program(taskID int) (*workload.Program, error) {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown task %d", taskID)
+	}
+	return t.program, nil
+}
+
+// Tasks returns the IDs of all live tasks (in unspecified order).
+func (m *Machine) Tasks() []int {
+	out := make([]int, 0, len(m.tasks))
+	for id := range m.tasks {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (m *Machine) checkCore(core int) error {
+	if core < 0 || core >= m.cfg.Cores {
+		return fmt.Errorf("machine: core %d out of range [0,%d)", core, m.cfg.Cores)
+	}
+	return nil
+}
+
+// SetFreqLevel sets a core's DVFS operating point by level index.
+func (m *Machine) SetFreqLevel(core, level int) error {
+	if err := m.checkCore(core); err != nil {
+		return err
+	}
+	if level < 0 || level >= len(m.cfg.FreqLevelsGHz) {
+		return fmt.Errorf("machine: frequency level %d out of range [0,%d)", level, len(m.cfg.FreqLevelsGHz))
+	}
+	m.coreFreq[core] = level
+	return nil
+}
+
+// FreqLevel returns a core's current DVFS level index.
+func (m *Machine) FreqLevel(core int) (int, error) {
+	if err := m.checkCore(core); err != nil {
+		return 0, err
+	}
+	return m.coreFreq[core], nil
+}
+
+// FreqGHz returns a core's current frequency in GHz.
+func (m *Machine) FreqGHz(core int) (float64, error) {
+	l, err := m.FreqLevel(core)
+	if err != nil {
+		return 0, err
+	}
+	return m.cfg.FreqLevelsGHz[l], nil
+}
+
+// MaxFreqLevel returns the index of the highest operating point.
+func (m *Machine) MaxFreqLevel() int { return len(m.cfg.FreqLevelsGHz) - 1 }
+
+// FreqResidency returns the cumulative time core has spent at each
+// frequency level (indexed by level), for Fig. 12.
+func (m *Machine) FreqResidency(core int) ([]time.Duration, error) {
+	if err := m.checkCore(core); err != nil {
+		return nil, err
+	}
+	return append([]time.Duration(nil), m.freqResidency[core]...), nil
+}
+
+// ChargeOverhead steals d of CPU time from core, consumed from its next
+// quanta. It models runtime work (predictor + throttler ≈ 100 µs per
+// invocation) pinned to that core.
+func (m *Machine) ChargeOverhead(core int, d time.Duration) error {
+	if err := m.checkCore(core); err != nil {
+		return err
+	}
+	if d < 0 {
+		return fmt.Errorf("machine: negative overhead %v", d)
+	}
+	m.overheadOwed[core] += d
+	return nil
+}
+
+// LastUtilization returns memory utilization of the last quantum.
+func (m *Machine) LastUtilization() float64 { return m.lastUtilization }
+
+// Step advances the machine by one quantum and returns any foreground
+// completions that occurred in it.
+func (m *Machine) Step() []Completion {
+	dt := m.cfg.Quantum
+	dtSec := dt.Seconds()
+	now := m.clock.Advance()
+
+	// Per-core effective compute time after runtime-overhead theft, and
+	// per-quantum jitter draws (one per running task, outside the solver
+	// loop so iterations see stable values).
+	effSec := make([]float64, m.cfg.Cores)
+	for c := 0; c < m.cfg.Cores; c++ {
+		eff := dt
+		if owed := m.overheadOwed[c]; owed > 0 {
+			steal := owed
+			if steal > dt {
+				steal = dt
+			}
+			m.overheadOwed[c] -= steal
+			eff = dt - steal
+		}
+		effSec[c] = eff.Seconds()
+		m.freqResidency[c][m.coreFreq[c]] += dt
+		m.scratchJitter[c] = 1
+		if t := m.coreTask[c]; t != nil && !t.paused {
+			if sigma := t.program.Benchmark().CPIJitter; sigma > 0 {
+				m.scratchJitter[c] = t.jitter.LogNormal(0, sigma)
+			}
+			if m.cfg.SlowJitterSigma > 0 {
+				if now >= t.slowUntil {
+					t.slowJitter = t.jitter.LogNormal(0, m.cfg.SlowJitterSigma)
+					t.slowUntil = now + sim.Time(m.cfg.SlowJitterPeriod)
+				}
+				m.scratchJitter[c] *= t.slowJitter
+			}
+		}
+	}
+
+	// Damped fixed point over memory utilization.
+	u := m.lastUtilization
+	latNs := 0.0
+	for iter := 0; iter < solverIterations; iter++ {
+		latNs = float64(m.memory.Latency(u).Nanoseconds())
+		if latNs <= 0 {
+			// Sub-nanosecond idle latency configs still need a positive
+			// value; fall back to the float form.
+			latNs = m.memory.LatencyStretch(u) * float64(m.memory.Config().IdleLatency) / float64(time.Nanosecond)
+		}
+		demand := 0.0
+		for c := 0; c < m.cfg.Cores; c++ {
+			t := m.coreTask[c]
+			m.scratchInstr[c] = 0
+			if t == nil || t.paused || effSec[c] <= 0 {
+				continue
+			}
+			ph := t.program.Phase()
+			f := m.cfg.FreqLevelsGHz[m.coreFreq[c]]
+			hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
+			missPerInstr := ph.APKI / 1000 * (1 - hit)
+			cpi := ph.BaseCPI*m.scratchJitter[c] + missPerInstr*latNs*f/ph.EffectiveMLP()
+			instr := f * 1e9 * effSec[c] / cpi
+			m.scratchInstr[c] = instr
+			demand += instr * missPerInstr * BytesPerMiss
+		}
+		uNew := m.memory.Utilization(demand, dt)
+		u = 0.5*u + 0.5*uNew
+	}
+
+	// Commit: counters, cache occupancy, memory stats, program progress.
+	m.scratchTraffic = m.scratchTraffic[:0]
+	demand := 0.0
+	var completions []Completion
+	for c := 0; c < m.cfg.Cores; c++ {
+		t := m.coreTask[c]
+		if t == nil || t.paused {
+			continue
+		}
+		instr := m.scratchInstr[c]
+		ph := t.program.Phase()
+		f := m.cfg.FreqLevelsGHz[m.coreFreq[c]]
+		hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
+		accesses := instr * ph.APKI / 1000
+		missRate := 1 - hit
+		misses := accesses * missRate
+		demand += misses * BytesPerMiss
+
+		// Counters: cycles reflect the full quantum at the core's clock
+		// (free-running cycle counter), instructions reflect work done.
+		_ = m.counters.Charge(t.id, c, perf.Sample{
+			Instructions: instr,
+			Cycles:       f * 1e9 * dtSec,
+			LLCAccesses:  accesses,
+			LLCMisses:    misses,
+		})
+		m.scratchTraffic = append(m.scratchTraffic, cache.Traffic{
+			Task:     t.id,
+			Accesses: accesses,
+			MissRate: missRate,
+			WSS:      ph.WSSBytes,
+		})
+		if t.program.Advance(instr) {
+			completions = append(completions, Completion{Task: t.id, At: now})
+		}
+	}
+	m.llc.Apply(dt, m.scratchTraffic)
+	m.memory.Apply(demand, dt)
+	m.lastUtilization = m.memory.LastUtilization()
+	return completions
+}
+
+// Run advances the machine until the given simulated time, invoking onStep
+// (if non-nil) after every quantum with that quantum's completions. It is a
+// convenience for tests and examples; the scheduler drives Step directly.
+func (m *Machine) Run(until sim.Time, onStep func(now sim.Time, done []Completion)) {
+	for m.clock.Now() < until {
+		done := m.Step()
+		if onStep != nil {
+			onStep(m.clock.Now(), done)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package mem models the main-memory system of the simulated machine: a
+// fixed peak bandwidth shared by all cores, with access latency that
+// stretches as utilization approaches saturation.
+//
+// This is the coupling channel through which background tasks hurt
+// foreground tasks even with a partitioned cache: every LLC miss becomes a
+// memory transaction, aggregate demand raises utilization, and queueing
+// delay inflates per-miss latency for everyone. The latency curve is the
+// standard M/M/1-flavoured stretch factor 1/(1-U) capped at a maximum,
+// which reproduces the sharp knee near saturation that makes memory-bound
+// phases (bwaves, lbm, RS scans) so intrusive in the paper's Fig. 5.
+package mem
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the memory system.
+type Config struct {
+	// PeakBandwidth is the sustainable bandwidth in bytes/second. The
+	// evaluation machine has 4 channels of DDR4-2133;
+	// we use the sustainable random-access (miss-stream) bandwidth, well below
+	// peak streaming copy bandwidth, matching measured behaviour under mixed miss traffic.
+	PeakBandwidth float64
+	// IdleLatency is the unloaded memory access latency.
+	IdleLatency time.Duration
+	// MaxStretch caps the queueing multiplier so a saturated quantum
+	// degrades throughput smoothly instead of dividing by zero.
+	MaxStretch float64
+}
+
+// DefaultConfig mirrors the paper's platform: 4×DDR4-2133 with ~22 GB/s
+// sustainable bandwidth, ~85 ns idle latency, stretch capped at 20×.
+func DefaultConfig() Config {
+	return Config{
+		PeakBandwidth: 22e9,
+		IdleLatency:   85 * time.Nanosecond,
+		MaxStretch:    20,
+	}
+}
+
+// Memory is the shared memory system. Not safe for concurrent use.
+type Memory struct {
+	cfg Config
+
+	// utilization of the last applied quantum, for observability.
+	lastUtilization float64
+	lastStretch     float64
+	totalBytes      float64 // lifetime traffic, for counters
+}
+
+// New validates cfg and returns a Memory.
+func New(cfg Config) (*Memory, error) {
+	if cfg.PeakBandwidth <= 0 {
+		return nil, fmt.Errorf("mem: peak bandwidth %g must be positive", cfg.PeakBandwidth)
+	}
+	if cfg.IdleLatency <= 0 {
+		return nil, fmt.Errorf("mem: idle latency %v must be positive", cfg.IdleLatency)
+	}
+	if cfg.MaxStretch < 1 {
+		return nil, fmt.Errorf("mem: max stretch %g must be >= 1", cfg.MaxStretch)
+	}
+	return &Memory{cfg: cfg, lastStretch: 1}, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Utilization converts a demand in bytes over a quantum dt into a
+// utilization fraction of peak bandwidth. Values above 1 are meaningful to
+// the solver (demand exceeding supply) and are not clamped here.
+func (m *Memory) Utilization(demandBytes float64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return demandBytes / (m.cfg.PeakBandwidth * dt.Seconds())
+}
+
+// LatencyStretch returns the queueing multiplier for a given utilization:
+// 1/(1-U) clamped to [1, MaxStretch]. U is clamped to [0, 0.99] before the
+// division so the curve is defined everywhere.
+func (m *Memory) LatencyStretch(utilization float64) float64 {
+	u := utilization
+	if u < 0 {
+		u = 0
+	}
+	if u > 0.99 {
+		u = 0.99
+	}
+	s := 1 / (1 - u)
+	if s > m.cfg.MaxStretch {
+		s = m.cfg.MaxStretch
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Latency returns the effective per-access latency at the given utilization.
+func (m *Memory) Latency(utilization float64) time.Duration {
+	return time.Duration(float64(m.cfg.IdleLatency) * m.LatencyStretch(utilization))
+}
+
+// Apply records the final traffic of a quantum (after the machine's fixed
+// point converged) for observability counters.
+func (m *Memory) Apply(demandBytes float64, dt time.Duration) {
+	u := m.Utilization(demandBytes, dt)
+	m.lastUtilization = u
+	m.lastStretch = m.LatencyStretch(u)
+	m.totalBytes += demandBytes
+}
+
+// LastUtilization returns the utilization of the most recent quantum.
+func (m *Memory) LastUtilization() float64 { return m.lastUtilization }
+
+// LastStretch returns the latency stretch of the most recent quantum.
+func (m *Memory) LastStretch() float64 { return m.lastStretch }
+
+// TotalBytes returns lifetime traffic through the memory system.
+func (m *Memory) TotalBytes() float64 { return m.totalBytes }
+
+// Reset clears observability state (not the configuration).
+func (m *Memory) Reset() {
+	m.lastUtilization = 0
+	m.lastStretch = 1
+	m.totalBytes = 0
+}

@@ -1,0 +1,149 @@
+// Package perf is the simulated machine's performance-counter file. It
+// mirrors the counters Dirigent reads on real hardware through rdpmc
+// (§4.1): retired instructions, cycles, LLC accesses, and LLC load misses,
+// tracked per task and per core.
+//
+// Consumers (the Dirigent profiler, predictor, and coarse controller) read
+// the counters exactly like software reads MSRs: take a snapshot, do work,
+// take another snapshot, and subtract. Delta helpers are provided so that
+// interval bookkeeping lives in one place.
+package perf
+
+import "fmt"
+
+// Sample is one counter vector. All values are cumulative since counter
+// reset, matching free-running hardware counters.
+type Sample struct {
+	Instructions float64
+	Cycles       float64
+	LLCAccesses  float64
+	LLCMisses    float64
+}
+
+// Sub returns s - other, the interval delta between two snapshots.
+func (s Sample) Sub(other Sample) Sample {
+	return Sample{
+		Instructions: s.Instructions - other.Instructions,
+		Cycles:       s.Cycles - other.Cycles,
+		LLCAccesses:  s.LLCAccesses - other.LLCAccesses,
+		LLCMisses:    s.LLCMisses - other.LLCMisses,
+	}
+}
+
+// Add returns s + other.
+func (s Sample) Add(other Sample) Sample {
+	return Sample{
+		Instructions: s.Instructions + other.Instructions,
+		Cycles:       s.Cycles + other.Cycles,
+		LLCAccesses:  s.LLCAccesses + other.LLCAccesses,
+		LLCMisses:    s.LLCMisses + other.LLCMisses,
+	}
+}
+
+// MPKI returns LLC misses per kilo-instruction, the paper's interference
+// metric (Fig. 4, Fig. 5). Zero instructions yields zero.
+func (s Sample) MPKI() float64 {
+	if s.Instructions <= 0 {
+		return 0
+	}
+	return s.LLCMisses / s.Instructions * 1000
+}
+
+// IPC returns instructions per cycle. Zero cycles yields zero.
+func (s Sample) IPC() float64 {
+	if s.Cycles <= 0 {
+		return 0
+	}
+	return s.Instructions / s.Cycles
+}
+
+func (s Sample) String() string {
+	return fmt.Sprintf("instr=%.3g cycles=%.3g llcAcc=%.3g llcMiss=%.3g mpki=%.3g",
+		s.Instructions, s.Cycles, s.LLCAccesses, s.LLCMisses, s.MPKI())
+}
+
+// Counters is the counter file for one machine: a Sample per task and per
+// core. Not safe for concurrent use.
+type Counters struct {
+	tasks map[int]*Sample
+	cores []Sample
+}
+
+// New creates a counter file for a machine with the given number of cores.
+func New(cores int) (*Counters, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("perf: core count %d must be positive", cores)
+	}
+	return &Counters{
+		tasks: map[int]*Sample{},
+		cores: make([]Sample, cores),
+	}, nil
+}
+
+// MustNew is New that panics on invalid input.
+func MustNew(cores int) *Counters {
+	c, err := New(cores)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumCores returns the number of per-core counter sets.
+func (c *Counters) NumCores() int { return len(c.cores) }
+
+// Charge accumulates a delta for task running on core. Unknown tasks are
+// created on first charge; an out-of-range core is an error.
+func (c *Counters) Charge(task, core int, delta Sample) error {
+	if core < 0 || core >= len(c.cores) {
+		return fmt.Errorf("perf: core %d out of range [0,%d)", core, len(c.cores))
+	}
+	t, ok := c.tasks[task]
+	if !ok {
+		t = &Sample{}
+		c.tasks[task] = t
+	}
+	*t = t.Add(delta)
+	c.cores[core] = c.cores[core].Add(delta)
+	return nil
+}
+
+// Task returns the cumulative counters of a task (zero Sample if the task
+// never ran).
+func (c *Counters) Task(task int) Sample {
+	if t, ok := c.tasks[task]; ok {
+		return *t
+	}
+	return Sample{}
+}
+
+// Core returns the cumulative counters of a core.
+func (c *Counters) Core(core int) (Sample, error) {
+	if core < 0 || core >= len(c.cores) {
+		return Sample{}, fmt.Errorf("perf: core %d out of range [0,%d)", core, len(c.cores))
+	}
+	return c.cores[core], nil
+}
+
+// Total returns the machine-wide cumulative counters.
+func (c *Counters) Total() Sample {
+	var sum Sample
+	for _, s := range c.cores {
+		sum = sum.Add(s)
+	}
+	return sum
+}
+
+// ResetTask zeroes a task's counters (used when an FG task restarts: each
+// execution is a fresh task in the paper's sense).
+func (c *Counters) ResetTask(task int) {
+	delete(c.tasks, task)
+}
+
+// Reset zeroes everything.
+func (c *Counters) Reset() {
+	c.tasks = map[int]*Sample{}
+	for i := range c.cores {
+		c.cores[i] = Sample{}
+	}
+}

@@ -1,0 +1,148 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleArithmetic(t *testing.T) {
+	a := Sample{Instructions: 100, Cycles: 200, LLCAccesses: 10, LLCMisses: 5}
+	b := Sample{Instructions: 40, Cycles: 50, LLCAccesses: 4, LLCMisses: 1}
+	d := a.Sub(b)
+	if d.Instructions != 60 || d.Cycles != 150 || d.LLCAccesses != 6 || d.LLCMisses != 4 {
+		t.Errorf("Sub = %+v", d)
+	}
+	s := b.Add(d)
+	if s != a {
+		t.Errorf("Add(Sub) != original: %+v vs %+v", s, a)
+	}
+}
+
+func TestSampleAddSubRoundTrip(t *testing.T) {
+	f := func(i1, c1, a1, m1, i2, c2, a2, m2 float64) bool {
+		a := Sample{i1, c1, a1, m1}
+		b := Sample{i2, c2, a2, m2}
+		rt := a.Add(b).Sub(b)
+		const tol = 1e-6
+		near := func(x, y float64) bool {
+			d := x - y
+			if d < 0 {
+				d = -d
+			}
+			scale := 1.0
+			if x > scale {
+				scale = x
+			}
+			if -x > scale {
+				scale = -x
+			}
+			return d <= tol*scale
+		}
+		return near(rt.Instructions, a.Instructions) && near(rt.Cycles, a.Cycles) &&
+			near(rt.LLCAccesses, a.LLCAccesses) && near(rt.LLCMisses, a.LLCMisses)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPKIAndIPC(t *testing.T) {
+	s := Sample{Instructions: 2000, Cycles: 4000, LLCMisses: 3}
+	if got := s.MPKI(); got != 1.5 {
+		t.Errorf("MPKI = %g, want 1.5", got)
+	}
+	if got := s.IPC(); got != 0.5 {
+		t.Errorf("IPC = %g, want 0.5", got)
+	}
+	var zero Sample
+	if zero.MPKI() != 0 || zero.IPC() != 0 {
+		t.Error("zero sample should have zero MPKI/IPC")
+	}
+	if !strings.Contains(s.String(), "mpki") {
+		t.Error("String should mention mpki")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero cores should error")
+	}
+	c := MustNew(6)
+	if c.NumCores() != 6 {
+		t.Errorf("NumCores = %d", c.NumCores())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) should panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	c := MustNew(2)
+	d := Sample{Instructions: 10, Cycles: 20, LLCAccesses: 2, LLCMisses: 1}
+	if err := c.Charge(1, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Charge(1, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Charge(2, 1, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Task(1); got.Instructions != 20 {
+		t.Errorf("Task(1) = %+v", got)
+	}
+	if got := c.Task(2); got.Instructions != 10 {
+		t.Errorf("Task(2) = %+v", got)
+	}
+	if got := c.Task(99); got != (Sample{}) {
+		t.Errorf("unknown task = %+v", got)
+	}
+	core0, err := c.Core(0)
+	if err != nil || core0.Instructions != 20 {
+		t.Errorf("Core(0) = %+v, %v", core0, err)
+	}
+	if got := c.Total(); got.Instructions != 30 {
+		t.Errorf("Total = %+v", got)
+	}
+}
+
+func TestChargeInvalidCore(t *testing.T) {
+	c := MustNew(2)
+	if err := c.Charge(1, -1, Sample{}); err == nil {
+		t.Error("negative core should error")
+	}
+	if err := c.Charge(1, 2, Sample{}); err == nil {
+		t.Error("out-of-range core should error")
+	}
+	if _, err := c.Core(5); err == nil {
+		t.Error("Core(5) should error")
+	}
+	if _, err := c.Core(-1); err == nil {
+		t.Error("Core(-1) should error")
+	}
+}
+
+func TestResets(t *testing.T) {
+	c := MustNew(1)
+	d := Sample{Instructions: 5}
+	_ = c.Charge(1, 0, d)
+	_ = c.Charge(2, 0, d)
+	c.ResetTask(1)
+	if got := c.Task(1); got != (Sample{}) {
+		t.Error("ResetTask should zero task counters")
+	}
+	// Core counters are free-running: ResetTask must not touch them.
+	core0, _ := c.Core(0)
+	if core0.Instructions != 10 {
+		t.Errorf("core counters after ResetTask = %+v", core0)
+	}
+	c.Reset()
+	core0, _ = c.Core(0)
+	if core0 != (Sample{}) || c.Task(2) != (Sample{}) {
+		t.Error("Reset should zero everything")
+	}
+}

@@ -1,0 +1,339 @@
+// Package sched manages a collocation: a set of foreground task streams and
+// background workers pinned to the cores of one simulated machine.
+//
+// It owns the task lifecycle the paper assumes around Dirigent: foreground
+// benchmarks run as a stream of back-to-back executions (each execution is
+// "a task" in the paper's sense — one unit of latency-critical work with a
+// deadline); background benchmarks run forever; rotate-BG workers randomly
+// switch between their paired benchmarks each time a foreground execution
+// completes, mimicking collocated-job context switches (§5.1).
+//
+// Resource control (DVFS, pausing, cache partitions) is NOT here — that is
+// the Dirigent runtime's job (internal/core) or a static configuration's.
+// The scheduler only places tasks and tracks completions.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"dirigent/internal/cache"
+	"dirigent/internal/machine"
+	"dirigent/internal/sim"
+	"dirigent/internal/workload"
+)
+
+// BGSpec describes one background worker: either a single benchmark or a
+// rotate pair.
+type BGSpec struct {
+	// Bench is the benchmark for a plain worker. Nil if Pair is set.
+	Bench *workload.Benchmark
+	// Pair holds the two benchmarks of a rotate worker. Both nil if Bench
+	// is set.
+	Pair [2]*workload.Benchmark
+}
+
+// IsRotate reports whether the spec is a rotate pair.
+func (s BGSpec) IsRotate() bool { return s.Pair[0] != nil || s.Pair[1] != nil }
+
+// Name returns a human-readable name for the worker.
+func (s BGSpec) Name() string {
+	if s.IsRotate() {
+		return s.Pair[0].Name + "+" + s.Pair[1].Name
+	}
+	if s.Bench != nil {
+		return s.Bench.Name
+	}
+	return "<empty>"
+}
+
+// Validate checks that exactly one of Bench/Pair is populated.
+func (s BGSpec) Validate() error {
+	switch {
+	case s.Bench != nil && s.IsRotate():
+		return fmt.Errorf("sched: BG spec has both a benchmark and a pair")
+	case s.Bench == nil && !s.IsRotate():
+		return fmt.Errorf("sched: empty BG spec")
+	case s.IsRotate() && (s.Pair[0] == nil || s.Pair[1] == nil):
+		return fmt.Errorf("sched: rotate pair must name two benchmarks")
+	}
+	return nil
+}
+
+// Execution records one completed foreground execution.
+type Execution struct {
+	// Start and End are simulated timestamps; Duration = End - Start.
+	Start, End sim.Time
+	// Duration is the execution time — the quantity whose variance
+	// Dirigent minimizes.
+	Duration time.Duration
+	// LLCMisses is the misses the FG task incurred during this execution
+	// (input to the coarse controller's correlation heuristic).
+	LLCMisses float64
+	// Instructions retired during this execution.
+	Instructions float64
+}
+
+// FGStream is a foreground benchmark running as a stream of executions on
+// one core.
+type FGStream struct {
+	Bench *workload.Benchmark
+	Task  int
+	Core  int
+
+	execs     []Execution
+	lastStart sim.Time
+	lastPerf  perfSnapshot
+}
+
+type perfSnapshot struct {
+	instructions float64
+	llcMisses    float64
+}
+
+// Executions returns the completed executions so far (shared slice; do not
+// modify).
+func (f *FGStream) Executions() []Execution { return f.execs }
+
+// Completed returns the number of completed executions.
+func (f *FGStream) Completed() int { return len(f.execs) }
+
+// CurrentStart returns the start time of the in-flight execution.
+func (f *FGStream) CurrentStart() sim.Time { return f.lastStart }
+
+// Durations returns all execution durations in seconds (a fresh slice).
+func (f *FGStream) Durations() []float64 {
+	out := make([]float64, len(f.execs))
+	for i, e := range f.execs {
+		out[i] = e.Duration.Seconds()
+	}
+	return out
+}
+
+// BGWorker is a background slot on one core: a plain benchmark or rotator.
+type BGWorker struct {
+	Spec BGSpec
+	Task int
+	Core int
+
+	rotator *workload.Rotator
+}
+
+// CurrentBenchmark returns the benchmark the worker is currently running.
+func (b *BGWorker) CurrentBenchmark() *workload.Benchmark {
+	if b.rotator != nil {
+		return b.rotator.Current()
+	}
+	return b.Spec.Bench
+}
+
+// Colocation is a full placement of FG streams and BG workers on a machine.
+type Colocation struct {
+	m   *machine.Machine
+	fgs []*FGStream
+	bgs []*BGWorker
+
+	fgClass cache.ClassID
+	bgClass cache.ClassID
+
+	onComplete []func(stream int, e Execution)
+	rng        *sim.Rand
+}
+
+// Options configures a Colocation.
+type Options struct {
+	// FGClass and BGClass are the LLC partition classes for FG and BG
+	// tasks. Both may be 0 (the default shared class) for unpartitioned
+	// configurations.
+	FGClass, BGClass cache.ClassID
+	// Seed drives rotate-BG selection.
+	Seed uint64
+}
+
+// New places fg benchmarks on cores 0..len(fg)-1 and bg specs on the
+// cores after them. The combined task count must not exceed the core count;
+// unused cores idle (standalone-FG runs leave 5 cores idle, exactly like
+// the paper's alone measurements).
+func New(m *machine.Machine, fg []*workload.Benchmark, bg []BGSpec, opts Options) (*Colocation, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sched: nil machine")
+	}
+	if len(fg) == 0 {
+		return nil, fmt.Errorf("sched: at least one FG benchmark required")
+	}
+	if len(fg)+len(bg) > m.NumCores() {
+		return nil, fmt.Errorf("sched: %d FG + %d BG tasks exceed %d cores", len(fg), len(bg), m.NumCores())
+	}
+	c := &Colocation{
+		m:       m,
+		fgClass: opts.FGClass,
+		bgClass: opts.BGClass,
+		rng:     sim.NewRand(opts.Seed ^ 0xd161e47), // "dirigent" mix constant
+	}
+	for i, b := range fg {
+		if b.Kind != workload.Foreground {
+			return nil, fmt.Errorf("sched: %s is not a foreground benchmark", b.Name)
+		}
+		prog, err := workload.NewProgram(b)
+		if err != nil {
+			return nil, err
+		}
+		id, err := m.Launch(b.Name, prog, i, opts.FGClass)
+		if err != nil {
+			return nil, err
+		}
+		c.fgs = append(c.fgs, &FGStream{Bench: b, Task: id, Core: i})
+	}
+	for j, spec := range bg {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		core := len(fg) + j
+		w := &BGWorker{Spec: spec, Core: core}
+		var prog *workload.Program
+		if spec.IsRotate() {
+			rot, err := workload.NewRotator(spec.Pair[0], spec.Pair[1], c.rng.Split())
+			if err != nil {
+				return nil, err
+			}
+			w.rotator = rot
+			prog = rot.Program()
+		} else {
+			if spec.Bench.Kind != workload.Background {
+				return nil, fmt.Errorf("sched: %s is not a background benchmark", spec.Bench.Name)
+			}
+			var err error
+			prog, err = workload.NewProgram(spec.Bench)
+			if err != nil {
+				return nil, err
+			}
+			// Independently-arriving batch jobs are not phase-aligned:
+			// start each plain BG worker at a random point in its phase
+			// cycle. The varying degree of overlap between their
+			// memory-heavy phases is the slowly-varying interference
+			// component that drives Baseline execution-time variance.
+			prog.SetOffset(c.rng.Float64() * spec.Bench.TotalInstructions())
+		}
+		id, err := m.Launch(spec.Name(), prog, core, opts.BGClass)
+		if err != nil {
+			return nil, err
+		}
+		w.Task = id
+		c.bgs = append(c.bgs, w)
+	}
+	return c, nil
+}
+
+// Machine returns the underlying machine.
+func (c *Colocation) Machine() *machine.Machine { return c.m }
+
+// FG returns the foreground streams.
+func (c *Colocation) FG() []*FGStream { return c.fgs }
+
+// BG returns the background workers.
+func (c *Colocation) BG() []*BGWorker { return c.bgs }
+
+// FGClass returns the LLC partition class of the FG tasks.
+func (c *Colocation) FGClass() cache.ClassID { return c.fgClass }
+
+// BGClass returns the LLC partition class of the BG tasks.
+func (c *Colocation) BGClass() cache.ClassID { return c.bgClass }
+
+// RuntimeCore returns the core the Dirigent runtime should be pinned to: a
+// core running a BG task (§4.2 pins the runtime thread to a BG core). With
+// no BG workers it falls back to the last core.
+func (c *Colocation) RuntimeCore() int {
+	if len(c.bgs) > 0 {
+		return c.bgs[0].Core
+	}
+	return c.m.NumCores() - 1
+}
+
+// OnComplete registers a callback fired after each FG execution completes.
+func (c *Colocation) OnComplete(fn func(stream int, e Execution)) {
+	c.onComplete = append(c.onComplete, fn)
+}
+
+// BGInstructions returns total instructions retired by all BG tasks — the
+// paper's BG throughput numerator.
+func (c *Colocation) BGInstructions() float64 {
+	sum := 0.0
+	for _, w := range c.bgs {
+		sum += c.m.Counters().Task(w.Task).Instructions
+	}
+	return sum
+}
+
+// Step advances the machine one quantum and processes completions: records
+// FG execution stats, restarts the stream (implicitly — programs wrap), and
+// rotates rotate-BG workers.
+func (c *Colocation) Step() {
+	done := c.m.Step()
+	for _, comp := range done {
+		for i, f := range c.fgs {
+			if f.Task != comp.Task {
+				continue
+			}
+			sample := c.m.Counters().Task(f.Task)
+			e := Execution{
+				Start:        f.lastStart,
+				End:          comp.At,
+				Duration:     time.Duration(comp.At - f.lastStart),
+				LLCMisses:    sample.LLCMisses - f.lastPerf.llcMisses,
+				Instructions: sample.Instructions - f.lastPerf.instructions,
+			}
+			f.execs = append(f.execs, e)
+			f.lastStart = comp.At
+			f.lastPerf = perfSnapshot{instructions: sample.Instructions, llcMisses: sample.LLCMisses}
+			for _, fn := range c.onComplete {
+				fn(i, e)
+			}
+			// A completed FG task models a collocated-job context switch:
+			// rotate-BG workers pick their next benchmark.
+			c.rotateAll()
+		}
+	}
+}
+
+// Run advances until the given simulated time.
+func (c *Colocation) Run(until sim.Time) {
+	for c.m.Now() < until {
+		c.Step()
+	}
+}
+
+// RunExecutions advances until every FG stream has at least n completed
+// executions or the simulated-time limit is reached; it returns an error on
+// timeout (a task that cannot complete under the limit indicates a
+// mis-configured experiment).
+func (c *Colocation) RunExecutions(n int, limit sim.Time) error {
+	for {
+		minDone := c.fgs[0].Completed()
+		for _, f := range c.fgs[1:] {
+			if f.Completed() < minDone {
+				minDone = f.Completed()
+			}
+		}
+		if minDone >= n {
+			return nil
+		}
+		if c.m.Now() >= limit {
+			return fmt.Errorf("sched: only %d/%d executions within %v", minDone, n, time.Duration(limit))
+		}
+		c.Step()
+	}
+}
+
+func (c *Colocation) rotateAll() {
+	for _, w := range c.bgs {
+		if w.rotator == nil {
+			continue
+		}
+		w.rotator.Rotate()
+		// Install the fresh program; errors are impossible here because the
+		// task is known and the program non-nil, but check anyway.
+		if err := c.m.SetProgram(w.Task, w.rotator.Program()); err != nil {
+			panic(fmt.Sprintf("sched: rotate failed: %v", err))
+		}
+	}
+}

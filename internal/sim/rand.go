@@ -1,0 +1,85 @@
+package sim
+
+import "math"
+
+// Rand is a deterministic pseudo-random source (xoshiro256**). Every source
+// of randomness in the simulator — OS-noise jitter, phase perturbation,
+// rotate-BG selection — draws from one of these, derived from a single
+// experiment seed, so full paper sweeps reproduce bit-for-bit. We do not use
+// math/rand: its global state and version-dependent stream would break
+// reproducibility guarantees across Go releases.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from seed via SplitMix64, which maps
+// any seed (including 0) to a well-mixed full state.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+// Split derives an independent child generator; use it to give each
+// component its own stream so that adding draws in one component does not
+// shift the stream of another.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample via the Box–Muller transform.
+func (r *Rand) Norm() float64 {
+	// Guard u1 away from 0 so Log is finite.
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a sample of exp(N(mu, sigma)). The simulator's OS-noise
+// model uses small lognormal CPI multipliers: noise is always positive and
+// right-skewed, matching interference spikes (context switches, interrupts)
+// better than symmetric noise.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}

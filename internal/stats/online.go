@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford is an online mean/variance accumulator (Welford's algorithm).
+// The zero value is ready to use. It is not safe for concurrent use; the
+// simulator is single-threaded per machine by design.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance (0 if fewer than one
+// sample).
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the running population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// EMA is an exponential moving average with weight w on the newest sample:
+// v' = w*x + (1-w)*v. Before the first sample the EMA is "empty" and the
+// first Add seeds it directly, matching the paper's per-segment penalty
+// average P̄_i = 0.2 P_i + 0.8 P̄_i (§4.2) which is seeded by the first
+// contended execution.
+type EMA struct {
+	weight float64
+	value  float64
+	seeded bool
+}
+
+// NewEMA returns an EMA with the given weight in (0, 1].
+func NewEMA(weight float64) (*EMA, error) {
+	if weight <= 0 || weight > 1 {
+		return nil, fmt.Errorf("stats: EMA weight %g outside (0,1]", weight)
+	}
+	return &EMA{weight: weight}, nil
+}
+
+// MustEMA is NewEMA that panics on an invalid weight; for package-internal
+// construction with constant weights.
+func MustEMA(weight float64) *EMA {
+	e, err := NewEMA(weight)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Add folds x into the average and returns the new value.
+func (e *EMA) Add(x float64) float64 {
+	if !e.seeded {
+		e.value = x
+		e.seeded = true
+		return e.value
+	}
+	e.value = e.weight*x + (1-e.weight)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 if unseeded).
+func (e *EMA) Value() float64 { return e.value }
+
+// Seeded reports whether at least one sample has been added.
+func (e *EMA) Seeded() bool { return e.seeded }
+
+// Weight returns the configured weight.
+func (e *EMA) Weight() float64 { return e.weight }
+
+// Reset clears the average back to the unseeded state, keeping the weight.
+func (e *EMA) Reset() { e.value, e.seeded = 0, false }
+
+// Ring is a fixed-capacity ring buffer of float64 samples, used for the
+// coarse controller's sliding windows (last 10 executions, §4.3).
+type Ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to capacity samples. Capacity must be
+// positive.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("stats: ring capacity %d must be positive", capacity)
+	}
+	return &Ring{buf: make([]float64, capacity)}, nil
+}
+
+// MustRing is NewRing that panics on an invalid capacity.
+func MustRing(capacity int) *Ring {
+	r, err := NewRing(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Push appends x, evicting the oldest sample once full.
+func (r *Ring) Push(x float64) {
+	r.buf[r.next] = x
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of samples currently held.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Values returns the samples in oldest-to-newest order as a fresh slice.
+func (r *Ring) Values() []float64 {
+	n := r.Len()
+	out := make([]float64, 0, n)
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset empties the ring, keeping the capacity.
+func (r *Ring) Reset() {
+	r.next = 0
+	r.full = false
+}

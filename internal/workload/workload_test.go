@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validPhase() Phase {
+	return Phase{Name: "p", Instructions: 1e8, BaseCPI: 0.6, APKI: 5, WSSBytes: 1 << 20, Locality: 0.8}
+}
+
+func TestPhaseValidate(t *testing.T) {
+	p := validPhase()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Phase){
+		func(p *Phase) { p.Instructions = 0 },
+		func(p *Phase) { p.Instructions = -1 },
+		func(p *Phase) { p.BaseCPI = 0 },
+		func(p *Phase) { p.APKI = -1 },
+		func(p *Phase) { p.WSSBytes = -1 },
+		func(p *Phase) { p.Locality = -0.1 },
+		func(p *Phase) { p.Locality = 1.1 },
+	}
+	for i, mutate := range bad {
+		q := validPhase()
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBenchmarkValidate(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Foreground, Phases: []Phase{validPhase()}}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Benchmark{Kind: Foreground, Phases: []Phase{validPhase()}}).Validate(); err == nil {
+		t.Error("missing name should error")
+	}
+	if err := (&Benchmark{Name: "x"}).Validate(); err == nil {
+		t.Error("no phases should error")
+	}
+	bad := &Benchmark{Name: "x", Phases: []Phase{{Name: "p"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid phase should propagate")
+	}
+	neg := &Benchmark{Name: "x", Phases: []Phase{validPhase()}, CPIJitter: -0.1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative jitter should error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Foreground.String() != "FG" || Background.String() != "BG" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestTotalInstructions(t *testing.T) {
+	b := &Benchmark{Name: "x", Phases: []Phase{
+		{Name: "a", Instructions: 100, BaseCPI: 1, Locality: 0.5},
+		{Name: "b", Instructions: 200, BaseCPI: 1, Locality: 0.5},
+	}}
+	if got := b.TotalInstructions(); got != 300 {
+		t.Errorf("TotalInstructions = %g", got)
+	}
+}
+
+func TestProgramPhaseTransitions(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Foreground, Phases: []Phase{
+		{Name: "a", Instructions: 100, BaseCPI: 1, Locality: 0.5},
+		{Name: "b", Instructions: 200, BaseCPI: 1, Locality: 0.5},
+	}}
+	p := MustProgram(b)
+	if p.Phase().Name != "a" {
+		t.Errorf("initial phase = %s", p.Phase().Name)
+	}
+	if done := p.Advance(99); done {
+		t.Error("should not complete at 99/300")
+	}
+	if p.Phase().Name != "a" {
+		t.Errorf("phase at 99 = %s", p.Phase().Name)
+	}
+	p.Advance(1)
+	if p.Phase().Name != "b" {
+		t.Errorf("phase at 100 = %s", p.Phase().Name)
+	}
+	if p.Executed() != 100 || p.Remaining() != 200 {
+		t.Errorf("Executed=%g Remaining=%g", p.Executed(), p.Remaining())
+	}
+	if done := p.Advance(200); !done {
+		t.Error("FG should complete at 300/300")
+	}
+	if p.Executed() != 0 {
+		t.Errorf("after completion Executed = %g, want wrap to 0", p.Executed())
+	}
+}
+
+func TestProgramOvershootCarries(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Foreground, Phases: []Phase{
+		{Name: "a", Instructions: 100, BaseCPI: 1, Locality: 0.5},
+	}}
+	p := MustProgram(b)
+	if done := p.Advance(130); !done {
+		t.Fatal("should complete")
+	}
+	if p.Executed() != 30 {
+		t.Errorf("overshoot should carry: Executed = %g, want 30", p.Executed())
+	}
+}
+
+func TestBackgroundProgramWraps(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Background, Phases: []Phase{
+		{Name: "a", Instructions: 100, BaseCPI: 1, Locality: 0.5},
+	}}
+	p := MustProgram(b)
+	for i := 0; i < 10; i++ {
+		if done := p.Advance(60); done {
+			t.Fatal("BG must never report completion")
+		}
+	}
+	if p.Executed() >= 100 {
+		t.Errorf("BG executed should stay within pass: %g", p.Executed())
+	}
+}
+
+func TestProgramNegativeAdvance(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Foreground, Phases: []Phase{validPhase()}}
+	p := MustProgram(b)
+	p.Advance(-50)
+	if p.Executed() != 0 {
+		t.Errorf("negative advance should be ignored: %g", p.Executed())
+	}
+}
+
+func TestProgramReset(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Foreground, Phases: []Phase{validPhase()}}
+	p := MustProgram(b)
+	p.Advance(1e7)
+	p.Reset()
+	if p.Executed() != 0 {
+		t.Error("Reset should rewind")
+	}
+}
+
+func TestNewProgramRejectsInvalid(t *testing.T) {
+	if _, err := NewProgram(&Benchmark{Name: "x"}); err == nil {
+		t.Error("invalid benchmark should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram should panic on invalid benchmark")
+		}
+	}()
+	MustProgram(&Benchmark{})
+}
+
+func TestProgramExecutedNeverExceedsTotal(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := &Benchmark{Name: "x", Kind: Background, Phases: []Phase{
+			{Name: "a", Instructions: 500, BaseCPI: 1, Locality: 0.5},
+			{Name: "b", Instructions: 300, BaseCPI: 1, Locality: 0.5},
+		}}
+		p := MustProgram(b)
+		s := seed | 1
+		for i := 0; i < 200; i++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			p.Advance(float64(s % 400))
+			if p.Executed() < 0 || p.Executed() >= 800 {
+				return false
+			}
+			// Phase must always be resolvable.
+			if p.Phase() == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOffset(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Background, Phases: []Phase{
+		{Name: "a", Instructions: 100, BaseCPI: 1, Locality: 0.5},
+		{Name: "b", Instructions: 200, BaseCPI: 1, Locality: 0.5},
+	}}
+	p := MustProgram(b)
+	p.SetOffset(150)
+	if p.Executed() != 150 {
+		t.Errorf("Executed = %g", p.Executed())
+	}
+	if p.Phase().Name != "b" {
+		t.Errorf("phase = %s", p.Phase().Name)
+	}
+	// Wraps modulo total.
+	p.SetOffset(650)
+	if p.Executed() != 50 {
+		t.Errorf("Executed after wrap = %g", p.Executed())
+	}
+	// Negative clamps to 0.
+	p.SetOffset(-10)
+	if p.Executed() != 0 {
+		t.Errorf("Executed after negative = %g", p.Executed())
+	}
+}
+
+func TestSetOffsetStaysInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := &Benchmark{Name: "x", Kind: Background, Phases: []Phase{
+			{Name: "a", Instructions: 777, BaseCPI: 1, Locality: 0.5},
+		}}
+		p := MustProgram(b)
+		s := seed | 1
+		for i := 0; i < 50; i++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			p.SetOffset(float64(s % 10000))
+			if p.Executed() < 0 || p.Executed() >= 777 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
