@@ -9,12 +9,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"dirigent/internal/experiment"
+	"dirigent/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 
 		executions = flag.Int("executions", 60, "FG executions per run")
 		predExecs  = flag.Int("pred-executions", 50, "executions per prediction probe")
+		trace      = flag.String("trace", "", "write a JSONL telemetry trace of every run to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -50,6 +53,20 @@ func main() {
 
 	r := experiment.NewRunner()
 	r.Executions = *executions
+	var closeTrace func()
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		check(err)
+		bw := bufio.NewWriterSize(f, 1<<20)
+		sink := telemetry.NewJSONL(bw)
+		r.Recorder = sink
+		closeTrace = func() {
+			check(bw.Flush())
+			check(f.Close())
+			check(sink.Err())
+			fmt.Fprintf(os.Stderr, "dirigent-bench: wrote %d events to %s\n", sink.Events(), *trace)
+		}
+	}
 	start := time.Now()
 
 	// Mix results are shared between Fig. 9a/10/11/12/headline; compute
@@ -162,6 +179,9 @@ func main() {
 		fmt.Println(h.Render())
 	}
 
+	if closeTrace != nil {
+		closeTrace()
+	}
 	fmt.Fprintf(os.Stderr, "dirigent-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 

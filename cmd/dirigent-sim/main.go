@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"dirigent/internal/config"
 	"dirigent/internal/experiment"
+	"dirigent/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	bg := flag.String("bg", "rs,rs,rs,rs,rs", "comma-separated BG specs (a single name or a+b rotate pair)")
 	cfgName := flag.String("config", "Dirigent", "configuration: Baseline, StaticFreq, StaticBoth, DirigentFreq, Dirigent")
 	executions := flag.Int("executions", 60, "FG executions per run")
+	trace := flag.String("trace", "", "write a JSONL telemetry trace of every run to this file")
+	traceQuanta := flag.Bool("trace-quanta", false, "include per-quantum machine events in the trace (large)")
 	verbose := flag.Bool("v", false, "print every execution time")
 	flag.Parse()
 
@@ -45,9 +49,21 @@ func main() {
 
 	r := experiment.NewRunner()
 	r.Executions = *executions
+	var closeTrace func()
+	if *trace != "" {
+		sink, done, err := openTrace(*trace, *traceQuanta)
+		if err != nil {
+			fatal(err)
+		}
+		r.Recorder = sink
+		closeTrace = done
+	}
 	res, err := r.RunMix(mix)
 	if err != nil {
 		fatal(err)
+	}
+	if closeTrace != nil {
+		closeTrace()
 	}
 
 	fmt.Printf("mix %s, deadline(s): %v\n\n", mix.Name, res.Deadlines)
@@ -82,6 +98,34 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// openTrace opens path for JSONL telemetry and returns the sink plus a
+// closer that flushes, reports the event count, and fails hard on write
+// errors (a silently truncated trace is worse than none).
+func openTrace(path string, quanta bool) (*telemetry.JSONL, func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	sink := telemetry.NewJSONL(bw)
+	if quanta {
+		sink.Include(telemetry.KindQuantumStep)
+	}
+	done := func() {
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if err := sink.Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dirigent-sim: wrote %d events to %s\n", sink.Events(), path)
+	}
+	return sink, done, nil
 }
 
 func splitList(s string) []string {

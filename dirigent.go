@@ -29,6 +29,8 @@
 package dirigent
 
 import (
+	"io"
+
 	"dirigent/internal/cache"
 	"dirigent/internal/config"
 	"dirigent/internal/core"
@@ -37,6 +39,7 @@ import (
 	"dirigent/internal/mem"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
 )
 
@@ -163,6 +166,69 @@ func NewPredictor(profile *Profile, weight float64) (*Predictor, error) {
 func NewRuntime(colo *Colocation, profiles []*Profile, cfg RuntimeConfig) (*Runtime, error) {
 	return core.NewRuntime(colo, profiles, cfg)
 }
+
+// --- Telemetry ---
+
+// Recorder is the typed event bus every subsystem reports through: the
+// machine, both controllers, the predictor, the scheduler, and the
+// evaluation harness emit structured events onto one Recorder. Recording is
+// strictly observational — results are byte-identical with or without one
+// attached. Set RuntimeConfig.Recorder (or Runner.Recorder) to receive the
+// stream.
+type Recorder = telemetry.Recorder
+
+// Event is one telemetry record; EventKind discriminates which field groups
+// are meaningful.
+type Event = telemetry.Event
+
+// EventKind identifies the type of a telemetry event.
+type EventKind = telemetry.Kind
+
+// FineStats are the fine-controller counters aggregated from the event
+// stream (RunResult.Fine).
+type FineStats = telemetry.FineStats
+
+// Aggregator folds an event stream into the cross-run statistics the
+// evaluation reports.
+type Aggregator = telemetry.Aggregator
+
+// JSONLRecorder writes one JSON object per event, newline-delimited.
+type JSONLRecorder = telemetry.JSONL
+
+// NopRecorder returns the shared zero-cost no-op recorder.
+func NopRecorder() Recorder { return telemetry.Nop() }
+
+// NewAggregator returns an empty in-memory aggregating sink.
+func NewAggregator() *Aggregator { return telemetry.NewAggregator() }
+
+// NewJSONLRecorder returns a JSONL trace sink writing to w. Per-quantum
+// machine events are excluded by default; opt in with
+// Include(QuantumStepEvent).
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder { return telemetry.NewJSONL(w) }
+
+// TeeRecorders fans one event stream out to several sinks.
+func TeeRecorders(sinks ...Recorder) Recorder { return telemetry.Tee(sinks...) }
+
+// WithRunLabel stamps every event recorded through r with a run label.
+func WithRunLabel(r Recorder, run string) Recorder { return telemetry.WithRun(r, run) }
+
+// The event kinds (see the telemetry package docs for per-kind fields).
+const (
+	MachineStartEvent      = telemetry.KindMachineStart
+	QuantumStepEvent       = telemetry.KindQuantumStep
+	DVFSTransitionEvent    = telemetry.KindDVFSTransition
+	PartitionMoveEvent     = telemetry.KindPartitionMove
+	TaskLaunchEvent        = telemetry.KindTaskLaunch
+	TaskKillEvent          = telemetry.KindTaskKill
+	TaskPauseEvent         = telemetry.KindTaskPause
+	TaskResumeEvent        = telemetry.KindTaskResume
+	TaskSwitchEvent        = telemetry.KindTaskSwitch
+	SegmentPenaltyEvent    = telemetry.KindSegmentPenalty
+	ExecutionCompleteEvent = telemetry.KindExecutionComplete
+	FineDecisionEvent      = telemetry.KindFineDecision
+	FineActionEvent        = telemetry.KindFineAction
+	CoarseDecisionEvent    = telemetry.KindCoarseDecision
+)
 
 // --- Evaluation harness ---
 

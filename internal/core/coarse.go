@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"dirigent/internal/cache"
+	"dirigent/internal/sim"
 	"dirigent/internal/stats"
+	"dirigent/internal/telemetry"
 )
 
 // Default coarse-control parameters from §4.3 and §5.3.
@@ -44,6 +46,9 @@ type CoarseConfig struct {
 	// LLC way to the FG partition"), converging to the knee of the Fig. 8
 	// curve rather than starting from an over-provisioned split.
 	InitialFGWays int
+	// Recorder receives partition-move and decision events. Nil means no
+	// telemetry (the runtime injects its configured recorder here).
+	Recorder telemetry.Recorder
 }
 
 func (c CoarseConfig) withDefaults(totalWays int) CoarseConfig {
@@ -90,6 +95,7 @@ type CoarseController struct {
 	fgClass cache.ClassID
 	bgClass cache.ClassID
 	cfg     CoarseConfig
+	rec     telemetry.Recorder
 
 	execTimes  *stats.Ring
 	execMisses *stats.Ring
@@ -130,6 +136,7 @@ func NewCoarseController(llc *cache.LLC, fgClass, bgClass cache.ClassID, cfg Coa
 		fgClass:    fgClass,
 		bgClass:    bgClass,
 		cfg:        cfg,
+		rec:        telemetry.OrNop(cfg.Recorder),
 		execTimes:  stats.MustRing(cfg.History),
 		execMisses: stats.MustRing(cfg.History),
 		missedDL:   stats.MustRing(cfg.History),
@@ -138,7 +145,19 @@ func NewCoarseController(llc *cache.LLC, fgClass, bgClass cache.ClassID, cfg Coa
 	if err := cc.apply(); err != nil {
 		return nil, err
 	}
+	cc.emitPartition(0, 0, telemetry.ReasonInitialPartition)
 	return cc, nil
+}
+
+// emitPartition records the (possibly initial) partition state.
+func (cc *CoarseController) emitPartition(now sim.Time, delta int, reason telemetry.Reason) {
+	if cc.rec.Enabled(telemetry.KindPartitionMove) {
+		cc.rec.Record(telemetry.Event{
+			Kind: telemetry.KindPartitionMove, At: now,
+			FGWays: cc.fgWays, Delta: delta,
+			ExecCount: cc.execCount, Reason: reason,
+		})
+	}
 }
 
 func (cc *CoarseController) apply() error {
@@ -175,11 +194,13 @@ func (cc *CoarseController) Due() bool {
 	return cc.sinceAdjust >= cc.cfg.AdjustEvery && cc.execTimes.Len() >= 2
 }
 
-// Adjust runs the three heuristics and applies any partition change.
-// fineStats is the fine controller's telemetry since the last adjustment
-// (used by heuristic 3); the caller should reset it afterwards. Returns the
-// applied delta in ways (-1, 0, +1).
-func (cc *CoarseController) Adjust(fineStats Stats) (int, error) {
+// Adjust runs the three heuristics and applies any partition change. now
+// is the simulated time of the triggering execution; window is the fine
+// controller's decision window since the last adjustment (used by
+// heuristic 3 — the caller should reset it afterwards). Returns the
+// applied delta in ways (-1, 0, +1). Every invocation emits a
+// KindCoarseDecision event carrying the heuristic that fired.
+func (cc *CoarseController) Adjust(now sim.Time, window FineWindow) (int, error) {
 	cc.sinceAdjust = 0
 
 	times := cc.execTimes.Values()
@@ -197,38 +218,50 @@ func (cc *CoarseController) Adjust(fineStats Stats) (int, error) {
 	if cc.lastWasGrow {
 		cc.lastWasGrow = false
 		if mean := stats.Mean(misses); mean >= cc.missesBeforeGrow*0.98 {
-			return cc.step(-1)
+			return cc.step(-1, now, telemetry.ReasonRevertGrow)
 		}
 	}
 
 	// Heuristic 1: strong time↔miss correlation plus recent misses.
 	corr, err := stats.Correlation(times, misses)
 	if err == nil && corr > cc.cfg.CorrThreshold && missedRecently {
-		return cc.grow(misses)
+		return cc.grow(misses, now, telemetry.ReasonCorrelation)
 	}
 
 	// Heuristic 3: BG heavily suppressed by the fine controller.
-	if fineStats.Decisions > 0 {
-		frac := float64(fineStats.BGSuppressed) / float64(fineStats.Decisions)
+	if window.Decisions > 0 {
+		frac := float64(window.BGSuppressed) / float64(window.Decisions)
 		if frac > cc.cfg.SuppressedFrac {
-			return cc.grow(misses)
+			return cc.grow(misses, now, telemetry.ReasonBGSuppressed)
 		}
 	}
+	cc.emitDecision(now, 0, telemetry.ReasonNoChange)
 	return 0, nil
 }
 
-func (cc *CoarseController) grow(missWindow []float64) (int, error) {
+func (cc *CoarseController) emitDecision(now sim.Time, delta int, reason telemetry.Reason) {
+	if cc.rec.Enabled(telemetry.KindCoarseDecision) {
+		cc.rec.Record(telemetry.Event{
+			Kind: telemetry.KindCoarseDecision, At: now,
+			Reason: reason, Delta: delta,
+			FGWays: cc.fgWays, ExecCount: cc.execCount,
+		})
+	}
+}
+
+func (cc *CoarseController) grow(missWindow []float64, now sim.Time, reason telemetry.Reason) (int, error) {
 	cc.missesBeforeGrow = stats.Mean(missWindow)
-	delta, err := cc.step(+1)
+	delta, err := cc.step(+1, now, reason)
 	if err == nil && delta > 0 {
 		cc.lastWasGrow = true
 	}
 	return delta, err
 }
 
-func (cc *CoarseController) step(delta int) (int, error) {
+func (cc *CoarseController) step(delta int, now sim.Time, reason telemetry.Reason) (int, error) {
 	next := cc.fgWays + delta
 	if next < cc.cfg.MinFGWays || next > cc.cfg.MaxFGWays {
+		cc.emitDecision(now, 0, reason)
 		return 0, nil
 	}
 	cc.fgWays = next
@@ -238,6 +271,8 @@ func (cc *CoarseController) step(delta int) (int, error) {
 	}
 	cc.adjustments++
 	cc.lastChangeAtExec = cc.execCount
+	cc.emitDecision(now, delta, reason)
+	cc.emitPartition(now, delta, reason)
 	return delta, nil
 }
 

@@ -80,7 +80,7 @@ func TestHeuristic1GrowsOnCorrelationAndMisses(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), i%2 == 0)
 	}
-	delta, err := cc.Adjust(Stats{})
+	delta, err := cc.Adjust(0, FineWindow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestHeuristic1NeedsDeadlineMisses(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), false)
 	}
-	delta, err := cc.Adjust(Stats{})
+	delta, err := cc.Adjust(0, FineWindow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestHeuristic1NeedsCorrelation(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		cc.RecordExecution(1.0+0.1*float64(i), 200-10*float64(i), true)
 	}
-	delta, err := cc.Adjust(Stats{})
+	delta, err := cc.Adjust(0, FineWindow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +130,14 @@ func TestHeuristic2UndoesUselessGrow(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), true)
 	}
-	if d, _ := cc.Adjust(Stats{}); d != 1 {
+	if d, _ := cc.Adjust(0, FineWindow{}); d != 1 {
 		t.Fatal("setup: grow expected")
 	}
 	// Misses did NOT improve in the following window.
 	for i := 0; i < 6; i++ {
 		cc.RecordExecution(1.0, 130, false)
 	}
-	delta, err := cc.Adjust(Stats{})
+	delta, err := cc.Adjust(0, FineWindow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestHeuristic2KeepsUsefulGrow(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		cc.RecordExecution(1.0+0.1*float64(i), 100+10*float64(i), true)
 	}
-	if d, _ := cc.Adjust(Stats{}); d != 1 {
+	if d, _ := cc.Adjust(0, FineWindow{}); d != 1 {
 		t.Fatal("setup: grow expected")
 	}
 	// Misses clearly improved: the grow sticks (and no new trigger fires —
@@ -163,7 +163,7 @@ func TestHeuristic2KeepsUsefulGrow(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		cc.RecordExecution(1.0, 50+float64(i%2), false)
 	}
-	delta, err := cc.Adjust(Stats{})
+	delta, err := cc.Adjust(0, FineWindow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestHeuristic3GrowsOnBGSuppression(t *testing.T) {
 	for i, v := range vals {
 		cc.RecordExecution(1.0, v, i == 0)
 	}
-	delta, err := cc.Adjust(Stats{Decisions: 10, BGSuppressed: 8})
+	delta, err := cc.Adjust(0, FineWindow{Decisions: 10, BGSuppressed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestHeuristic3GrowsOnBGSuppression(t *testing.T) {
 	for i, v := range vals {
 		cc.RecordExecution(1.0, v, i == 0)
 	}
-	delta, _ = cc.Adjust(Stats{Decisions: 10, BGSuppressed: 2})
+	delta, _ = cc.Adjust(0, FineWindow{Decisions: 10, BGSuppressed: 2})
 	// Heuristic 2 may shrink if the grow did not improve misses — accept -1
 	// or 0 but never +1.
 	if delta == 1 {
@@ -208,7 +208,7 @@ func TestCoarseRespectsBounds(t *testing.T) {
 		for i := 0; i < 2; i++ {
 			cc.RecordExecution(1.0+0.1*float64(i)+0.05*float64(i*i), 100+10*float64(i)+5*float64(i*i), true)
 		}
-		d, err := cc.Adjust(Stats{Decisions: 10, BGSuppressed: 9})
+		d, err := cc.Adjust(0, FineWindow{Decisions: 10, BGSuppressed: 9})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func TestCoarseRespectsBounds(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		cc.RecordExecution(1.0+0.1*float64(i), 10+10*float64(i), true)
 	}
-	d, err := cc.Adjust(Stats{Decisions: 10, BGSuppressed: 9})
+	d, err := cc.Adjust(0, FineWindow{Decisions: 10, BGSuppressed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"dirigent/internal/machine"
 	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
 )
 
 // Default fine-control parameters from §4.3.
@@ -80,6 +81,9 @@ type FineConfig struct {
 	// SpeedupHoldoff is the number of consecutive ahead decisions required
 	// before each BG speed-up (negative disables the hold-off).
 	SpeedupHoldoff int
+	// Recorder receives decision and action events. Nil means no
+	// telemetry (the runtime injects its configured recorder here).
+	Recorder telemetry.Recorder
 }
 
 func (c FineConfig) withDefaults() FineConfig {
@@ -122,17 +126,16 @@ type FineController struct {
 	// misses a task generates", §4.3).
 	missSnapshot map[int]float64
 
-	// Decision telemetry for the coarse controller's heuristic 3 and for
-	// Fig. 12-style analyses.
-	decisions        int
-	bgSuppressed     int // decisions where all BG were at min grade or paused
-	pausesIssued     int
-	fgThrottleCount  int
-	bgThrottleCount  int
-	bgSpeedupCount   int
-	resumeCount      int
-	fgMaxBoostCount  int
-	lastDecisionTime sim.Time
+	// rec receives decision/action events; never nil. Richer decision
+	// telemetry (Fig. 12-style analyses) lives entirely in the event
+	// stream — aggregate with telemetry.Aggregator.
+	rec telemetry.Recorder
+
+	// The coarse controller's heuristic 3 consumes a windowed suppression
+	// fraction (§4.3); these two counters are control state, reset each
+	// coarse window, not telemetry.
+	windowDecisions  int
+	windowSuppressed int
 
 	// aheadStreak counts consecutive all-ahead decisions, for the BG
 	// speed-up hold-off.
@@ -168,6 +171,7 @@ func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []
 		bgTasks:      append([]int(nil), bgTasks...),
 		bgCores:      append([]int(nil), bgCores...),
 		missSnapshot: map[int]float64{},
+		rec:          telemetry.OrNop(cfg.Recorder),
 	}
 	// Pin every managed core to a grade (the top one) so grade stepping is
 	// well-defined.
@@ -209,14 +213,25 @@ func (fc *FineController) setGrade(core, grade int) {
 	}
 }
 
+// emitAction records one resource-shift action on the telemetry bus. Group
+// actions (BG throttle/speedup/resume, which affect every active BG core at
+// once) pass -1 identities.
+func (fc *FineController) emitAction(now sim.Time, a telemetry.Action, task, core, stream int) {
+	if fc.rec.Enabled(telemetry.KindFineAction) {
+		fc.rec.Record(telemetry.Event{
+			Kind: telemetry.KindFineAction, At: now,
+			Action: a, Task: task, Core: core, Stream: stream,
+		})
+	}
+}
+
 // Decide runs one fine time scale decision (§4.3). status must be parallel
 // to the FG task list given at construction.
 func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 	if len(status) != len(fc.fgTasks) {
 		return fmt.Errorf("core: %d statuses for %d FG tasks", len(status), len(fc.fgTasks))
 	}
-	fc.decisions++
-	fc.lastDecisionTime = now
+	fc.windowDecisions++
 
 	topGrade := len(fc.cfg.Grades) - 1
 	var behind, ahead []int
@@ -242,7 +257,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 			if fc.gradeOf(fc.fgCores[i]) != topGrade {
 				allWereMax = false
 				fc.setGrade(fc.fgCores[i], topGrade)
-				fc.fgMaxBoostCount++
+				fc.emitAction(now, telemetry.ActionFGMaxBoost, fc.fgTasks[i], fc.fgCores[i], i)
 			}
 		}
 		if allWereMax {
@@ -258,11 +273,11 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 				}
 			}
 			if throttled {
-				fc.bgThrottleCount++
+				fc.emitAction(now, telemetry.ActionBGThrottle, -1, -1, -1)
 			} else if status[worst].slack() < -fc.cfg.PauseMargin {
 				// BG already at minimum frequency and the FG is badly
 				// behind: pause the most intrusive active BG.
-				fc.pauseMostIntrusive()
+				fc.pauseMostIntrusive(now)
 			}
 		}
 		// Multi-FG rule: FG tasks expected to finish early are throttled
@@ -270,7 +285,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 		for _, i := range ahead {
 			if g := fc.gradeOf(fc.fgCores[i]); g > 0 {
 				fc.setGrade(fc.fgCores[i], g-1)
-				fc.fgThrottleCount++
+				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], i)
 			}
 		}
 
@@ -309,7 +324,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 			}
 			fc.aheadStreak = 0
 			if fc.resumeAllPaused() {
-				fc.resumeCount++
+				fc.emitAction(now, telemetry.ActionBGResume, -1, -1, -1)
 				break
 			}
 			for j, c := range fc.bgCores {
@@ -320,21 +335,22 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 					fc.setGrade(c, g+1)
 				}
 			}
-			fc.bgSpeedupCount++
+			fc.emitAction(now, telemetry.ActionBGSpeedup, -1, -1, -1)
 			break
 		}
 		for _, i := range ahead {
 			if g := fc.gradeOf(fc.fgCores[i]); g > 0 {
 				fc.setGrade(fc.fgCores[i], g-1)
-				fc.fgThrottleCount++
+				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], i)
 			}
 		}
 	}
 
-	// Telemetry: are BG tasks heavily suppressed? The coarse controller's
-	// heuristic 3 (§4.3) reads this as "BG tasks are heavily throttled and
-	// their utilization of core resources is low": any task paused, or the
-	// active tasks' mean DVFS grade in the lower 60% of the range.
+	// Is BG heavily suppressed? The coarse controller's heuristic 3 (§4.3)
+	// reads this as "BG tasks are heavily throttled and their utilization
+	// of core resources is low": any task paused, or the active tasks'
+	// mean DVFS grade in the lower 60% of the range.
+	suppressed := false
 	if len(fc.bgCores) > 0 {
 		pausedAny := false
 		gradeSum, active := 0, 0
@@ -346,13 +362,32 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 			gradeSum += fc.gradeOf(c)
 			active++
 		}
-		suppressed := pausedAny
+		suppressed = pausedAny
 		if !suppressed && active > 0 {
 			suppressed = float64(gradeSum)/float64(active) < 0.6*float64(topGrade)
 		}
 		if suppressed {
-			fc.bgSuppressed++
+			fc.windowSuppressed++
 		}
+	}
+
+	// The decision event carries the triggering predicate: how many
+	// streams were behind/ahead, the worst normalized slack, and whether
+	// BG ended the decision suppressed.
+	if fc.rec.Enabled(telemetry.KindFineDecision) {
+		reason := telemetry.ReasonSteady
+		switch {
+		case len(behind) > 0:
+			reason = telemetry.ReasonFGBehind
+		case len(ahead) == len(status):
+			reason = telemetry.ReasonAllAhead
+		}
+		fc.rec.Record(telemetry.Event{
+			Kind: telemetry.KindFineDecision, At: now,
+			Reason: reason, Behind: len(behind), Ahead: len(ahead),
+			Streams: len(status), Slack: status[worst].slack(),
+			Suppressed: suppressed,
+		})
 	}
 
 	// Refresh the intrusiveness snapshot.
@@ -369,22 +404,22 @@ func (fc *FineController) paused(task int) bool {
 
 // pauseMostIntrusive pauses the active BG task with the highest LLC miss
 // count since the last decision.
-func (fc *FineController) pauseMostIntrusive() {
-	bestTask := -1
+func (fc *FineController) pauseMostIntrusive(now sim.Time) {
+	bestIdx := -1
 	bestMisses := -1.0
-	for _, t := range fc.bgTasks {
+	for j, t := range fc.bgTasks {
 		if fc.paused(t) {
 			continue
 		}
 		delta := fc.m.Counters().Task(t).LLCMisses - fc.missSnapshot[t]
 		if delta > bestMisses {
 			bestMisses = delta
-			bestTask = t
+			bestIdx = j
 		}
 	}
-	if bestTask >= 0 {
-		if err := fc.m.Pause(bestTask); err == nil {
-			fc.pausesIssued++
+	if bestIdx >= 0 {
+		if err := fc.m.Pause(fc.bgTasks[bestIdx]); err == nil {
+			fc.emitAction(now, telemetry.ActionBGPause, fc.bgTasks[bestIdx], fc.bgCores[bestIdx], -1)
 		}
 	}
 }
@@ -402,43 +437,25 @@ func (fc *FineController) resumeAllPaused() bool {
 	return any
 }
 
-// Stats is the fine controller's decision telemetry.
-type Stats struct {
-	Decisions      int
-	BGSuppressed   int // decisions with all BG at min grade or paused
-	PausesIssued   int
-	FGThrottles    int
-	BGThrottles    int
-	BGSpeedups     int
-	Resumes        int
-	FGMaxBoosts    int
-	LastDecisionAt sim.Time
+// FineWindow is the fine controller's windowed control input to the coarse
+// controller's heuristic 3 (§4.3): how many decisions occurred since the
+// last coarse adjustment and how many of them left BG heavily suppressed.
+// It is deliberately minimal — all richer decision telemetry flows through
+// the event stream (telemetry.Aggregator reconstructs full counters).
+type FineWindow struct {
+	Decisions    int
+	BGSuppressed int // decisions with all BG at min grade or paused
 }
 
-// Stats returns a copy of the telemetry counters.
-func (fc *FineController) Stats() Stats {
-	return Stats{
-		Decisions:      fc.decisions,
-		BGSuppressed:   fc.bgSuppressed,
-		PausesIssued:   fc.pausesIssued,
-		FGThrottles:    fc.fgThrottleCount,
-		BGThrottles:    fc.bgThrottleCount,
-		BGSpeedups:     fc.bgSpeedupCount,
-		Resumes:        fc.resumeCount,
-		FGMaxBoosts:    fc.fgMaxBoostCount,
-		LastDecisionAt: fc.lastDecisionTime,
-	}
+// Window returns the decision window accumulated since the last
+// ResetWindow.
+func (fc *FineController) Window() FineWindow {
+	return FineWindow{Decisions: fc.windowDecisions, BGSuppressed: fc.windowSuppressed}
 }
 
-// ResetStats zeroes the telemetry counters (the coarse controller reads and
-// resets them each window).
-func (fc *FineController) ResetStats() {
-	fc.decisions = 0
-	fc.bgSuppressed = 0
-	fc.pausesIssued = 0
-	fc.fgThrottleCount = 0
-	fc.bgThrottleCount = 0
-	fc.bgSpeedupCount = 0
-	fc.resumeCount = 0
-	fc.fgMaxBoostCount = 0
+// ResetWindow zeroes the window (the coarse controller reads and resets it
+// each adjustment).
+func (fc *FineController) ResetWindow() {
+	fc.windowDecisions = 0
+	fc.windowSuppressed = 0
 }

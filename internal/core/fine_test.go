@@ -6,17 +6,23 @@ import (
 
 	"dirigent/internal/machine"
 	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
 )
 
 // fineFixture builds a machine with 1 FG (core 0) + 5 BG (cores 1-5) and a
-// fine controller over them.
+// fine controller over them. Counters are observed through an aggregator on
+// the controller's telemetry stream, exactly as the experiment harness does.
 type fineFixture struct {
 	m       *machine.Machine
 	fc      *FineController
+	agg     *telemetry.Aggregator
 	fgTask  int
 	bgTasks []int
 }
+
+// fine returns the aggregated fine-controller counters.
+func (f *fineFixture) fine() telemetry.FineStats { return f.agg.Fine() }
 
 func newFineFixture(t *testing.T, cfg FineConfig) *fineFixture {
 	t.Helper()
@@ -35,11 +41,13 @@ func newFineFixture(t *testing.T, cfg FineConfig) *fineFixture {
 		}
 		bgTasks = append(bgTasks, id)
 	}
+	agg := telemetry.NewAggregator()
+	cfg.Recorder = agg
 	fc, err := NewFineController(m, []int{fgTask}, []int{0}, bgTasks, []int{1, 2, 3, 4, 5}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fineFixture{m: m, fc: fc, fgTask: fgTask, bgTasks: bgTasks}
+	return &fineFixture{m: m, fc: fc, agg: agg, fgTask: fgTask, bgTasks: bgTasks}
 }
 
 // status builds an FGStatus with the given normalized slack (positive =
@@ -121,7 +129,7 @@ func TestAheadThrottlesBGLastFGFirst(t *testing.T) {
 			t.Errorf("BG should stay at max, got %d", g)
 		}
 	}
-	if f.fc.Stats().FGThrottles == 0 {
+	if f.fine().FGThrottles == 0 {
 		t.Error("FGThrottles should count")
 	}
 }
@@ -157,8 +165,8 @@ func TestBehindBoostsFGThenThrottlesBG(t *testing.T) {
 			t.Errorf("BG level = %d, want 6", g)
 		}
 	}
-	if f.fc.Stats().BGThrottles == 0 || f.fc.Stats().FGMaxBoosts == 0 {
-		t.Errorf("stats not counted: %+v", f.fc.Stats())
+	if f.fine().BGThrottles == 0 || f.fine().FGMaxBoosts == 0 {
+		t.Errorf("stats not counted: %+v", f.fine())
 	}
 }
 
@@ -191,8 +199,8 @@ func TestPauseOnlyWhenBadlyBehindAndBGAtMin(t *testing.T) {
 	if paused != 1 {
 		t.Errorf("paused = %d, want exactly 1", paused)
 	}
-	if f.fc.Stats().PausesIssued != 1 {
-		t.Errorf("PausesIssued = %d", f.fc.Stats().PausesIssued)
+	if f.fine().PausesIssued != 1 {
+		t.Errorf("PausesIssued = %d", f.fine().PausesIssued)
 	}
 }
 
@@ -272,8 +280,8 @@ func TestAheadResumesPausedFirst(t *testing.T) {
 			t.Error("resume round should not also change frequencies")
 		}
 	}
-	if f.fc.Stats().Resumes != 1 {
-		t.Errorf("Resumes = %d", f.fc.Stats().Resumes)
+	if f.fine().Resumes != 1 {
+		t.Errorf("Resumes = %d", f.fine().Resumes)
 	}
 	// Next full hold-off of ahead rounds: speed up BG one grade.
 	for i := 0; i < DefaultSpeedupHoldoff; i++ {
@@ -284,8 +292,8 @@ func TestAheadResumesPausedFirst(t *testing.T) {
 			t.Errorf("BG level = %d, want 2 (one grade up from 0)", g)
 		}
 	}
-	if f.fc.Stats().BGSpeedups != 1 {
-		t.Errorf("BGSpeedups = %d", f.fc.Stats().BGSpeedups)
+	if f.fine().BGSpeedups != 1 {
+		t.Errorf("BGSpeedups = %d", f.fine().BGSpeedups)
 	}
 }
 
@@ -341,16 +349,24 @@ func TestMultiFGMixedTendency(t *testing.T) {
 	}
 }
 
-func TestStatsAndReset(t *testing.T) {
+func TestWindowAndAggregatedStats(t *testing.T) {
 	f := newFineFixture(t, FineConfig{})
 	_ = f.fc.Decide(sim.Time(time.Second), []FGStatus{statusWithSlack(0.2)})
-	s := f.fc.Stats()
-	if s.Decisions != 1 || s.LastDecisionAt != sim.Time(time.Second) {
-		t.Errorf("Stats = %+v", s)
+	if w := f.fc.Window(); w.Decisions != 1 {
+		t.Errorf("Window = %+v", w)
 	}
-	f.fc.ResetStats()
-	if f.fc.Stats().Decisions != 0 {
-		t.Error("ResetStats should clear counters")
+	s := f.fine()
+	if s.Decisions != 1 || s.LastDecisionAt != sim.Time(time.Second) {
+		t.Errorf("aggregated stats = %+v", s)
+	}
+	f.fc.ResetWindow()
+	if f.fc.Window().Decisions != 0 {
+		t.Error("ResetWindow should clear the window")
+	}
+	// The window is control state for the coarse controller; the aggregated
+	// stream is cumulative and must survive the reset.
+	if f.fine().Decisions != 1 {
+		t.Error("aggregated counters must survive a window reset")
 	}
 }
 
@@ -359,10 +375,14 @@ func TestBGSuppressedTelemetry(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		_ = f.fc.Decide(0, []FGStatus{statusWithSlack(-0.05)})
 	}
-	before := f.fc.Stats().BGSuppressed
+	before := f.fine().BGSuppressed
+	windowBefore := f.fc.Window().BGSuppressed
 	_ = f.fc.Decide(0, []FGStatus{statusWithSlack(-0.05)})
-	if f.fc.Stats().BGSuppressed != before+1 {
-		t.Errorf("BGSuppressed should count decisions with BG at min: %+v", f.fc.Stats())
+	if f.fine().BGSuppressed != before+1 {
+		t.Errorf("BGSuppressed should count decisions with BG at min: %+v", f.fine())
+	}
+	if f.fc.Window().BGSuppressed != windowBefore+1 {
+		t.Errorf("window BGSuppressed should track too: %+v", f.fc.Window())
 	}
 }
 

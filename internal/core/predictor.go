@@ -6,6 +6,7 @@ import (
 
 	"dirigent/internal/sim"
 	"dirigent/internal/stats"
+	"dirigent/internal/telemetry"
 )
 
 // DefaultEMAWeight is the paper's exponential-moving-average weight (0.2,
@@ -71,6 +72,11 @@ type Predictor struct {
 	// controller's own throttling inflates the penalty history and
 	// triggers spurious boost/throttle oscillation.
 	freqFactor float64
+
+	// rec receives a KindSegmentPenalty event per milestone crossing;
+	// never nil. stream labels the events (-1 when standalone).
+	rec    telemetry.Recorder
+	stream int
 }
 
 // NewPredictor builds a predictor over a validated profile. weight is the
@@ -96,6 +102,8 @@ func NewPredictor(profile *Profile, weight float64) (*Predictor, error) {
 		alphaCarry: 1,
 		scaleCarry: 1,
 		freqFactor: 1,
+		rec:        telemetry.Nop(),
+		stream:     -1,
 	}
 	cum := 0.0
 	for i, s := range profile.Segments {
@@ -157,6 +165,13 @@ func (p *Predictor) SetFrequencyFactor(factor float64) {
 // FrequencyFactor returns the current compensation factor.
 func (p *Predictor) FrequencyFactor() float64 { return p.freqFactor }
 
+// SetRecorder attaches a telemetry recorder (nil clears it); stream labels
+// the emitted segment events with the FG stream index.
+func (p *Predictor) SetRecorder(rec telemetry.Recorder, stream int) {
+	p.rec = telemetry.OrNop(rec)
+	p.stream = stream
+}
+
 // Observe feeds a progress sample: progress is instructions retired since
 // the start of the current execution, at simulated time now. Milestone
 // crossings since the previous sample are resolved by linear interpolation.
@@ -202,6 +217,14 @@ func (p *Predictor) Observe(now sim.Time, progress float64) error {
 		}
 		p.penalties[p.idx].Add(penalty)
 		p.alphaMA.Add(alpha)
+		if p.rec.Enabled(telemetry.KindSegmentPenalty) {
+			p.rec.Record(telemetry.Event{
+				Kind: telemetry.KindSegmentPenalty, At: cross,
+				Stream: p.stream, Segment: p.idx,
+				Duration: measured, Penalty: time.Duration(penalty),
+				Alpha: alpha,
+			})
+		}
 		p.idx++
 		p.segStart = cross
 	}

@@ -6,6 +6,7 @@ import (
 
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
 )
 
 // DefaultOverhead is the measured cost of one Dirigent invocation
@@ -36,6 +37,12 @@ type RuntimeConfig struct {
 	EnablePartitioning bool
 	// Coarse configures the coarse controller when enabled.
 	Coarse CoarseConfig
+	// Recorder is the telemetry bus for the whole assembled system: the
+	// runtime injects it into both controllers and the per-stream
+	// predictors, and attaches it to the machine when the machine has no
+	// recorder of its own. Nil disables telemetry. Recording is strictly
+	// observational — results are byte-identical with or without it.
+	Recorder telemetry.Recorder
 }
 
 func (c RuntimeConfig) withDefaults() RuntimeConfig {
@@ -101,6 +108,19 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 		return nil, fmt.Errorf("core: sample period %v finer than machine quantum %v",
 			cfg.SamplePeriod, m.Config().Quantum)
 	}
+	// One bus for every layer: machine (unless the caller attached its
+	// own), controllers, and predictors all emit through cfg.Recorder.
+	if cfg.Recorder != nil {
+		if telemetry.IsNop(m.Recorder()) {
+			m.SetRecorder(cfg.Recorder)
+		}
+		if cfg.Fine.Recorder == nil {
+			cfg.Fine.Recorder = cfg.Recorder
+		}
+		if cfg.Coarse.Recorder == nil {
+			cfg.Coarse.Recorder = cfg.Recorder
+		}
+	}
 
 	r := &Runtime{
 		colo:         colo,
@@ -122,6 +142,7 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 		if err != nil {
 			return nil, err
 		}
+		pred.SetRecorder(cfg.Recorder, i)
 		pred.BeginExecution(m.Now())
 		r.preds = append(r.preds, pred)
 		r.instrAtStart[i] = m.Counters().Task(f.Task).Instructions
@@ -213,10 +234,10 @@ func (r *Runtime) onComplete(stream int, e sched.Execution) {
 		missed := e.Duration > r.targets[stream]
 		r.coarse.RecordExecution(e.Duration.Seconds(), e.LLCMisses, missed)
 		if r.coarse.Due() {
-			if _, err := r.coarse.Adjust(r.fine.Stats()); err != nil {
+			if _, err := r.coarse.Adjust(e.End, r.fine.Window()); err != nil {
 				panic(fmt.Sprintf("core: coarse adjust: %v", err))
 			}
-			r.fine.ResetStats()
+			r.fine.ResetWindow()
 		}
 	}
 	pred.BeginExecution(e.End)

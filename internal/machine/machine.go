@@ -27,6 +27,7 @@ import (
 	"dirigent/internal/mem"
 	"dirigent/internal/perf"
 	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
 )
 
@@ -127,6 +128,10 @@ type Machine struct {
 	lastUtilization float64
 	rng             *sim.Rand
 
+	// rec is the telemetry bus; never nil (the no-op recorder by
+	// default). Hot-path emissions gate on rec.Enabled.
+	rec telemetry.Recorder
+
 	// scratch buffers reused across Step calls to avoid per-quantum
 	// allocation.
 	scratchTraffic []cache.Traffic
@@ -179,6 +184,7 @@ func New(cfg Config) (*Machine, error) {
 		overheadOwed:  make([]time.Duration, cfg.Cores),
 		freqResidency: make([][]time.Duration, cfg.Cores),
 		rng:           sim.NewRand(cfg.Seed),
+		rec:           telemetry.Nop(),
 		scratchInstr:  make([]float64, cfg.Cores),
 		scratchJitter: make([]float64, cfg.Cores),
 	}
@@ -202,6 +208,28 @@ func MustNew(cfg Config) *Machine {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// SetRecorder attaches a telemetry recorder (nil restores the no-op
+// default) and announces the machine geometry with a KindMachineStart
+// event so sinks can interpret later DVFS/quantum events.
+func (m *Machine) SetRecorder(rec telemetry.Recorder) {
+	m.rec = telemetry.OrNop(rec)
+	if m.rec.Enabled(telemetry.KindMachineStart) {
+		m.rec.Record(telemetry.Event{
+			Kind:     telemetry.KindMachineStart,
+			At:       m.clock.Now(),
+			Cores:    m.cfg.Cores,
+			Levels:   len(m.cfg.FreqLevelsGHz),
+			TopLevel: len(m.cfg.FreqLevelsGHz) - 1,
+			Quantum:  m.cfg.Quantum,
+		})
+	}
+}
+
+// Recorder returns the attached telemetry recorder (the no-op recorder
+// when none is attached); components driven by the machine (the scheduler)
+// emit through it.
+func (m *Machine) Recorder() telemetry.Recorder { return m.rec }
 
 // Now returns the current simulated time.
 func (m *Machine) Now() sim.Time { return m.clock.Now() }
@@ -239,6 +267,12 @@ func (m *Machine) Launch(name string, prog *workload.Program, core int, class ca
 	t := &task{id: id, name: name, program: prog, core: core, jitter: m.rng.Split(), slowJitter: 1}
 	m.tasks[id] = t
 	m.coreTask[core] = t
+	if m.rec.Enabled(telemetry.KindTaskLaunch) {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindTaskLaunch, At: m.clock.Now(),
+			Task: id, Core: core, Name: name,
+		})
+	}
 	return id, nil
 }
 
@@ -251,6 +285,12 @@ func (m *Machine) Kill(taskID int) error {
 	m.coreTask[t.core] = nil
 	delete(m.tasks, taskID)
 	m.llc.Unregister(taskID)
+	if m.rec.Enabled(telemetry.KindTaskKill) {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindTaskKill, At: m.clock.Now(),
+			Task: taskID, Core: t.core, Name: t.name,
+		})
+	}
 	return nil
 }
 
@@ -265,6 +305,12 @@ func (m *Machine) SetProgram(taskID int, prog *workload.Program) error {
 		return fmt.Errorf("machine: nil program")
 	}
 	t.program = prog
+	if m.rec.Enabled(telemetry.KindTaskSwitch) {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindTaskSwitch, At: m.clock.Now(),
+			Task: taskID, Core: t.core, Name: prog.Benchmark().Name,
+		})
+	}
 	return nil
 }
 
@@ -283,7 +329,15 @@ func (m *Machine) Pause(taskID int) error {
 	if !ok {
 		return fmt.Errorf("machine: unknown task %d", taskID)
 	}
-	t.paused = true
+	if !t.paused {
+		t.paused = true
+		if m.rec.Enabled(telemetry.KindTaskPause) {
+			m.rec.Record(telemetry.Event{
+				Kind: telemetry.KindTaskPause, At: m.clock.Now(),
+				Task: taskID, Core: t.core,
+			})
+		}
+	}
 	return nil
 }
 
@@ -293,7 +347,15 @@ func (m *Machine) Resume(taskID int) error {
 	if !ok {
 		return fmt.Errorf("machine: unknown task %d", taskID)
 	}
-	t.paused = false
+	if t.paused {
+		t.paused = false
+		if m.rec.Enabled(telemetry.KindTaskResume) {
+			m.rec.Record(telemetry.Event{
+				Kind: telemetry.KindTaskResume, At: m.clock.Now(),
+				Task: taskID, Core: t.core,
+			})
+		}
+	}
 	return nil
 }
 
@@ -357,7 +419,15 @@ func (m *Machine) SetFreqLevel(core, level int) error {
 	if level < 0 || level >= len(m.cfg.FreqLevelsGHz) {
 		return fmt.Errorf("machine: frequency level %d out of range [0,%d)", level, len(m.cfg.FreqLevelsGHz))
 	}
-	m.coreFreq[core] = level
+	if prev := m.coreFreq[core]; prev != level {
+		m.coreFreq[core] = level
+		if m.rec.Enabled(telemetry.KindDVFSTransition) {
+			m.rec.Record(telemetry.Event{
+				Kind: telemetry.KindDVFSTransition, At: m.clock.Now(),
+				Core: core, FromLevel: prev, ToLevel: level,
+			})
+		}
+	}
 	return nil
 }
 
@@ -478,6 +548,7 @@ func (m *Machine) Step() []Completion {
 	// Commit: counters, cache occupancy, memory stats, program progress.
 	m.scratchTraffic = m.scratchTraffic[:0]
 	demand := 0.0
+	totInstr, totMisses := 0.0, 0.0
 	var completions []Completion
 	for c := 0; c < m.cfg.Cores; c++ {
 		t := m.coreTask[c]
@@ -492,6 +563,8 @@ func (m *Machine) Step() []Completion {
 		missRate := 1 - hit
 		misses := accesses * missRate
 		demand += misses * BytesPerMiss
+		totInstr += instr
+		totMisses += misses
 
 		// Counters: cycles reflect the full quantum at the core's clock
 		// (free-running cycle counter), instructions reflect work done.
@@ -514,6 +587,16 @@ func (m *Machine) Step() []Completion {
 	m.llc.Apply(dt, m.scratchTraffic)
 	m.memory.Apply(demand, dt)
 	m.lastUtilization = m.memory.LastUtilization()
+	if m.rec.Enabled(telemetry.KindQuantumStep) {
+		m.rec.Record(telemetry.Event{
+			Kind:         telemetry.KindQuantumStep,
+			At:           now,
+			Utilization:  m.lastUtilization,
+			Instructions: totInstr,
+			LLCMisses:    totMisses,
+			Completions:  len(completions),
+		})
+	}
 	return completions
 }
 

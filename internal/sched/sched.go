@@ -20,6 +20,7 @@ import (
 	"dirigent/internal/cache"
 	"dirigent/internal/machine"
 	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
 )
 
@@ -285,6 +286,16 @@ func (c *Colocation) Step() {
 			f.execs = append(f.execs, e)
 			f.lastStart = comp.At
 			f.lastPerf = perfSnapshot{instructions: sample.Instructions, llcMisses: sample.LLCMisses}
+			// The scheduler emits through the machine's bus: execution
+			// boundaries are placement-level events, visible to any sink
+			// attached to the machine even without a Dirigent runtime.
+			if rec := c.m.Recorder(); rec.Enabled(telemetry.KindExecutionComplete) {
+				rec.Record(telemetry.Event{
+					Kind: telemetry.KindExecutionComplete, At: comp.At,
+					Stream: i, Task: f.Task, Duration: e.Duration,
+					Instructions: e.Instructions, LLCMisses: e.LLCMisses,
+				})
+			}
 			for _, fn := range c.onComplete {
 				fn(i, e)
 			}

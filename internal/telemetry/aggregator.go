@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"time"
+
+	"dirigent/internal/sim"
+)
+
+// FineStats aggregates fine time scale controller activity from decision
+// and action events. It carries the counters the evaluation reports
+// (Fig. 12-style analyses): each field counts events over the whole run,
+// with the same increment semantics the controller's actions have — e.g.
+// one BGThrottle per decision that stepped the BG cores down, one
+// FGThrottle per individual FG core stepped down.
+type FineStats struct {
+	// Decisions counts fine decisions (KindFineDecision events).
+	Decisions int
+	// BGSuppressed counts decisions whose Suppressed flag was set: all BG
+	// paused or the active mean grade in the lower 60% of the range.
+	BGSuppressed int
+	// PausesIssued counts BG pause actions.
+	PausesIssued int
+	// FGThrottles counts per-stream FG slow-down actions.
+	FGThrottles int
+	// BGThrottles counts decisions that stepped active BG cores down.
+	BGThrottles int
+	// BGSpeedups counts decisions that stepped active BG cores up.
+	BGSpeedups int
+	// Resumes counts decisions that resumed paused BG tasks.
+	Resumes int
+	// FGMaxBoosts counts per-stream boosts to the top grade.
+	FGMaxBoosts int
+	// LastDecisionAt is the simulated time of the latest decision.
+	LastDecisionAt sim.Time
+}
+
+// Aggregator is the in-memory sink the evaluation harness consumes: it
+// folds the event stream into exactly the cross-run statistics RunResult
+// reports, so the figures are computed from the same events a user would
+// see in a JSONL trace. Not safe for concurrent use — attach one aggregator
+// per run (the runner does).
+type Aggregator struct {
+	started  bool
+	cores    int
+	levels   int
+	topLevel int
+	quantum  time.Duration
+
+	curLevel  []int
+	residency [][]time.Duration
+
+	quanta       int64
+	instructions float64
+	llcMisses    float64
+
+	fine FineStats
+
+	fgWays          int
+	partitionMoves  int
+	convergedAtExec int
+
+	executions int
+	pauses     int
+	resumes    int
+	switches   int
+	segments   int
+	penaltySum time.Duration
+}
+
+// NewAggregator returns an empty aggregator. Machine geometry is learned
+// from the KindMachineStart event the machine emits when the recorder is
+// attached.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Enabled reports true for every kind: the aggregator consumes the full
+// stream.
+func (a *Aggregator) Enabled(Kind) bool { return true }
+
+// Record folds one event into the aggregate state.
+func (a *Aggregator) Record(ev Event) {
+	switch ev.Kind {
+	case KindMachineStart:
+		// First attach wins; a re-attach of the same recorder must not
+		// reset mid-run state.
+		if a.started {
+			return
+		}
+		a.started = true
+		a.cores = ev.Cores
+		a.levels = ev.Levels
+		a.topLevel = ev.TopLevel
+		a.quantum = ev.Quantum
+		a.curLevel = make([]int, a.cores)
+		a.residency = make([][]time.Duration, a.cores)
+		for c := range a.curLevel {
+			a.curLevel[c] = ev.TopLevel
+			a.residency[c] = make([]time.Duration, a.levels)
+		}
+	case KindQuantumStep:
+		a.quanta++
+		a.instructions += ev.Instructions
+		a.llcMisses += ev.LLCMisses
+		// Residency advances at each core's current level, mirroring the
+		// machine's own accounting: levels only change between quanta, so
+		// replaying transitions in stream order reproduces it exactly.
+		for c := range a.curLevel {
+			a.residency[c][a.curLevel[c]] += a.quantum
+		}
+	case KindDVFSTransition:
+		if ev.Core >= 0 && ev.Core < len(a.curLevel) &&
+			ev.ToLevel >= 0 && ev.ToLevel < a.levels {
+			a.curLevel[ev.Core] = ev.ToLevel
+		}
+	case KindPartitionMove:
+		a.fgWays = ev.FGWays
+		if ev.Delta != 0 {
+			a.partitionMoves++
+			a.convergedAtExec = ev.ExecCount
+		}
+	case KindFineDecision:
+		a.fine.Decisions++
+		if ev.Suppressed {
+			a.fine.BGSuppressed++
+		}
+		a.fine.LastDecisionAt = ev.At
+	case KindFineAction:
+		switch ev.Action {
+		case ActionFGMaxBoost:
+			a.fine.FGMaxBoosts++
+		case ActionFGThrottle:
+			a.fine.FGThrottles++
+		case ActionBGThrottle:
+			a.fine.BGThrottles++
+		case ActionBGSpeedup:
+			a.fine.BGSpeedups++
+		case ActionBGPause:
+			a.fine.PausesIssued++
+		case ActionBGResume:
+			a.fine.Resumes++
+		}
+	case KindTaskPause:
+		a.pauses++
+	case KindTaskResume:
+		a.resumes++
+	case KindTaskSwitch:
+		a.switches++
+	case KindSegmentPenalty:
+		a.segments++
+		a.penaltySum += ev.Penalty
+	case KindExecutionComplete:
+		a.executions++
+	}
+}
+
+// Started reports whether a KindMachineStart event has been seen.
+func (a *Aggregator) Started() bool { return a.started }
+
+// Fine returns the accumulated fine-controller statistics.
+func (a *Aggregator) Fine() FineStats { return a.fine }
+
+// FGWays returns the FG partition size after the last partition move (0
+// when no partition event was seen).
+func (a *Aggregator) FGWays() int { return a.fgWays }
+
+// PartitionMoves returns how many partition changes (Delta != 0) occurred.
+func (a *Aggregator) PartitionMoves() int { return a.partitionMoves }
+
+// ConvergedAtExecution returns the execution count at the last partition
+// change — the paper's §5.3 convergence measure.
+func (a *Aggregator) ConvergedAtExecution() int { return a.convergedAtExec }
+
+// FreqResidency returns the cumulative time core has spent at each
+// frequency level, reconstructed from quantum steps and DVFS transitions.
+// It returns nil for out-of-range cores or before machine start.
+func (a *Aggregator) FreqResidency(core int) []time.Duration {
+	if core < 0 || core >= len(a.residency) {
+		return nil
+	}
+	return append([]time.Duration(nil), a.residency[core]...)
+}
+
+// Quanta returns how many machine quanta were observed.
+func (a *Aggregator) Quanta() int64 { return a.quanta }
+
+// Instructions returns machine-wide instructions observed via quantum
+// steps.
+func (a *Aggregator) Instructions() float64 { return a.instructions }
+
+// LLCMisses returns machine-wide LLC misses observed via quantum steps.
+func (a *Aggregator) LLCMisses() float64 { return a.llcMisses }
+
+// Executions returns the number of completed FG executions.
+func (a *Aggregator) Executions() int { return a.executions }
+
+// Pauses and Resumes return machine-level task pause/resume transitions
+// (these can exceed the controller's action counts if other callers pause
+// tasks, e.g. online profiling).
+func (a *Aggregator) Pauses() int  { return a.pauses }
+func (a *Aggregator) Resumes() int { return a.resumes }
+
+// Switches returns rotate-BG program swaps observed.
+func (a *Aggregator) Switches() int { return a.switches }
+
+// Segments returns how many per-segment penalty observations were made.
+func (a *Aggregator) Segments() int { return a.segments }
+
+// MeanPenalty returns the mean observed per-segment penalty.
+func (a *Aggregator) MeanPenalty() time.Duration {
+	if a.segments == 0 {
+		return 0
+	}
+	return a.penaltySum / time.Duration(a.segments)
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL writes one JSON object per event, newline-delimited — a trace
+// suitable for offline replay, diffing, and external tooling. Encoding is
+// hand-rolled so field order is stable and only the fields meaningful for
+// the event's kind appear.
+//
+// By default every kind except KindQuantumStep is traced: quantum steps
+// fire once per 250 µs of simulated time and dominate trace volume; opt in
+// with Include(KindQuantumStep) when per-quantum data is wanted.
+//
+// JSONL is safe for concurrent use (one mutex around encode+write), so a
+// single trace file can serve parallel runs when events are labelled via
+// WithRun.
+type JSONL struct {
+	mu      sync.Mutex
+	w       io.Writer
+	buf     []byte
+	enabled [numKinds]bool
+	err     error
+	events  int64
+}
+
+// NewJSONL returns a JSONL recorder writing to w. The caller is
+// responsible for buffering and closing w.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: w, buf: make([]byte, 0, 256)}
+	for k := Kind(1); k < numKinds; k++ {
+		j.enabled[k] = k != KindQuantumStep
+	}
+	return j
+}
+
+// Include enables tracing of the given kinds and returns j for chaining.
+func (j *JSONL) Include(kinds ...Kind) *JSONL {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, k := range kinds {
+		if k > 0 && k < numKinds {
+			j.enabled[k] = true
+		}
+	}
+	return j
+}
+
+// Exclude disables tracing of the given kinds and returns j for chaining.
+func (j *JSONL) Exclude(kinds ...Kind) *JSONL {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, k := range kinds {
+		if k > 0 && k < numKinds {
+			j.enabled[k] = false
+		}
+	}
+	return j
+}
+
+// Enabled reports whether events of kind k are written.
+func (j *JSONL) Enabled(k Kind) bool {
+	if k <= 0 || k >= numKinds {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enabled[k]
+}
+
+// Events returns how many events have been written.
+func (j *JSONL) Events() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events
+}
+
+// Err returns the first write error encountered, if any. Writes after an
+// error are dropped.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Record encodes and writes one event.
+func (j *JSONL) Record(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || ev.Kind <= 0 || ev.Kind >= numKinds || !j.enabled[ev.Kind] {
+		return
+	}
+	j.buf = appendEvent(j.buf[:0], ev)
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = fmt.Errorf("telemetry: jsonl write: %w", err)
+		return
+	}
+	j.events++
+}
+
+// appendEvent encodes ev as one JSON line. Common fields first (kind, time,
+// run label), then the kind-specific payload.
+func appendEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","at_ns":`...)
+	b = strconv.AppendInt(b, int64(ev.At), 10)
+	if ev.Run != "" {
+		b = appendStr(b, "run", ev.Run)
+	}
+	switch ev.Kind {
+	case KindMachineStart:
+		b = appendInt(b, "cores", ev.Cores)
+		b = appendInt(b, "levels", ev.Levels)
+		b = appendInt(b, "top_level", ev.TopLevel)
+		b = appendInt(b, "quantum_ns", int(ev.Quantum))
+	case KindQuantumStep:
+		b = appendFloat(b, "utilization", ev.Utilization)
+		b = appendFloat(b, "instructions", ev.Instructions)
+		b = appendFloat(b, "llc_misses", ev.LLCMisses)
+		b = appendInt(b, "completions", ev.Completions)
+	case KindDVFSTransition:
+		b = appendInt(b, "core", ev.Core)
+		b = appendInt(b, "from", ev.FromLevel)
+		b = appendInt(b, "to", ev.ToLevel)
+	case KindPartitionMove:
+		b = appendInt(b, "fg_ways", ev.FGWays)
+		b = appendInt(b, "delta", ev.Delta)
+		b = appendInt(b, "exec_count", ev.ExecCount)
+		b = appendStr(b, "reason", string(ev.Reason))
+	case KindTaskLaunch, KindTaskKill, KindTaskSwitch:
+		b = appendInt(b, "task", ev.Task)
+		b = appendInt(b, "core", ev.Core)
+		b = appendStr(b, "name", ev.Name)
+	case KindTaskPause, KindTaskResume:
+		b = appendInt(b, "task", ev.Task)
+		b = appendInt(b, "core", ev.Core)
+	case KindSegmentPenalty:
+		b = appendInt(b, "stream", ev.Stream)
+		b = appendInt(b, "segment", ev.Segment)
+		b = appendInt(b, "measured_ns", int(ev.Duration))
+		b = appendInt(b, "penalty_ns", int(ev.Penalty))
+		b = appendFloat(b, "alpha", ev.Alpha)
+	case KindExecutionComplete:
+		b = appendInt(b, "stream", ev.Stream)
+		b = appendInt(b, "task", ev.Task)
+		b = appendInt(b, "duration_ns", int(ev.Duration))
+		b = appendFloat(b, "instructions", ev.Instructions)
+		b = appendFloat(b, "llc_misses", ev.LLCMisses)
+	case KindFineDecision:
+		b = appendStr(b, "reason", string(ev.Reason))
+		b = appendInt(b, "behind", ev.Behind)
+		b = appendInt(b, "ahead", ev.Ahead)
+		b = appendInt(b, "streams", ev.Streams)
+		b = appendFloat(b, "worst_slack", ev.Slack)
+		b = appendBool(b, "suppressed", ev.Suppressed)
+	case KindFineAction:
+		b = appendStr(b, "action", ev.Action.String())
+		b = appendInt(b, "task", ev.Task)
+		b = appendInt(b, "core", ev.Core)
+		b = appendInt(b, "stream", ev.Stream)
+	case KindCoarseDecision:
+		b = appendStr(b, "reason", string(ev.Reason))
+		b = appendInt(b, "delta", ev.Delta)
+		b = appendInt(b, "fg_ways", ev.FGWays)
+		b = appendInt(b, "exec_count", ev.ExecCount)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+func appendInt(b []byte, key string, v int) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendBool(b []byte, key string, v bool) []byte {
+	b = appendKey(b, key)
+	return strconv.AppendBool(b, v)
+}
+
+func appendStr(b []byte, key, v string) []byte {
+	b = appendKey(b, key)
+	b = strconv.AppendQuote(b, v)
+	return b
+}
+
+func appendKey(b []byte, key string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return b
+}

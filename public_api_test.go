@@ -1,6 +1,7 @@
 package dirigent_test
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -55,9 +56,15 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Errorf("Segments = %d", pred.Segments())
 	}
 
+	// Telemetry through the facade: an aggregator plus a labelled JSONL
+	// trace, teed onto the runtime's bus.
+	var traceBuf bytes.Buffer
+	agg := dirigent.NewAggregator()
+	rec := dirigent.TeeRecorders(agg, dirigent.WithRunLabel(dirigent.NewJSONLRecorder(&traceBuf), "api"))
 	rt, err := dirigent.NewRuntime(colo, []*dirigent.Profile{profile}, dirigent.RuntimeConfig{
 		Targets:            []time.Duration{650 * time.Millisecond},
 		EnablePartitioning: true,
+		Recorder:           rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +77,18 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if rt.Coarse() == nil || rt.Coarse().FGWays() < 2 {
 		t.Error("coarse controller missing")
+	}
+	if agg.Executions() < 8 || agg.Fine().Decisions == 0 {
+		t.Error("telemetry aggregator saw no activity")
+	}
+	if agg.FGWays() != rt.Coarse().FGWays() {
+		t.Errorf("aggregated FGWays %d != controller %d", agg.FGWays(), rt.Coarse().FGWays())
+	}
+	if traceBuf.Len() == 0 {
+		t.Error("JSONL trace is empty")
+	}
+	if dirigent.NopRecorder().Enabled(dirigent.QuantumStepEvent) {
+		t.Error("nop recorder must report every kind disabled")
 	}
 
 	// Online profiling through the facade.

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 verification: everything a change must pass before merging.
+#
+#   scripts/ci.sh          # full: vet + build + tests + race detector
+#   scripts/ci.sh -short   # skip the long end-to-end runs (passed to go test)
+#
+# The race leg covers internal packages only: the root package and cmd/ are
+# thin facades over them and are already exercised race-free by the plain
+# test leg.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./... $*"
+go test "$@" ./...
+
+echo "== go test -race ./internal/... $*"
+go test -race "$@" ./internal/...
+
+echo "ci: all checks passed"
