@@ -53,18 +53,24 @@ func main() {
 
 	r := experiment.NewRunner()
 	r.Executions = *executions
-	var closeTrace func()
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		check(err)
 		bw := bufio.NewWriterSize(f, 1<<20)
 		sink := telemetry.NewJSONL(bw)
 		r.Recorder = sink
-		closeTrace = func() {
-			check(bw.Flush())
-			check(f.Close())
-			check(sink.Err())
+		closeTrace = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if err := sink.Err(); err != nil {
+				return err
+			}
 			fmt.Fprintf(os.Stderr, "dirigent-bench: wrote %d events to %s\n", sink.Events(), *trace)
+			return nil
 		}
 	}
 	start := time.Now()
@@ -179,9 +185,7 @@ func main() {
 		fmt.Println(h.Render())
 	}
 
-	if closeTrace != nil {
-		closeTrace()
-	}
+	check(flushTrace())
 	fmt.Fprintf(os.Stderr, "dirigent-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -195,8 +199,27 @@ func mustMixes(r *experiment.Runner, mixes []experiment.Mix) []*experiment.MixRe
 	return res
 }
 
+// closeTrace flushes and closes the -trace writer; nil when tracing is off.
+// It is package-level so the error path can drain the events recorded so
+// far — a partial trace of a failed figure run is exactly what one wants
+// for debugging it.
+var closeTrace func() error
+
+// flushTrace runs closeTrace at most once.
+func flushTrace() error {
+	if closeTrace == nil {
+		return nil
+	}
+	ct := closeTrace
+	closeTrace = nil
+	return ct()
+}
+
 func check(err error) {
 	if err != nil {
+		if terr := flushTrace(); terr != nil {
+			fmt.Fprintln(os.Stderr, "dirigent-bench: trace:", terr)
+		}
 		fmt.Fprintln(os.Stderr, "dirigent-bench:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,343 @@
+package benchreg
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// quickRun executes the reduced probe suite once and shares the result: the
+// suite costs real wall time, and every consumer treats it as read-only or
+// clones it first.
+var quickRun = sync.OnceValues(func() (*Baseline, error) {
+	return Run(QuickOptions())
+})
+
+func mustQuickRun(t *testing.T) *Baseline {
+	t.Helper()
+	b, err := quickRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// clone deep-copies a baseline via its JSON form — the same round trip a
+// committed baseline file goes through.
+func clone(t *testing.T, b *Baseline) *Baseline {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Baseline
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+// TestBaselineRoundTrip is the recorder's core contract: record → save →
+// load → check on an unchanged tree passes with zero warnings and failures.
+// In particular the JSON encoding must round-trip every float64 exactly, or
+// the Exact regime's 1e-9 epsilon would trip on serialization alone.
+func TestBaselineRoundTrip(t *testing.T) {
+	b := mustQuickRun(t)
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Metrics) != len(b.Metrics) {
+		t.Fatalf("round trip changed metric count: %d != %d", len(loaded.Metrics), len(b.Metrics))
+	}
+	rep := Compare(loaded, b, PerfFail)
+	if rep.Fails != 0 || rep.Warns != 0 {
+		t.Fatalf("check against own recording not clean: %d fails, %d warns\n%s",
+			rep.Fails, rep.Warns, rep.Text())
+	}
+	if !rep.EnvComparable {
+		t.Fatal("environment must compare equal to itself")
+	}
+}
+
+// TestInjectedQoSRegressionFails verifies the gate's reason for existing: a
+// 20% drop in a deterministic QoS completion rate must fail the check, in
+// every perf mode — exact metrics are never demoted.
+func TestInjectedQoSRegressionFails(t *testing.T) {
+	base := mustQuickRun(t)
+	for _, mode := range []PerfMode{PerfFail, PerfWarn, PerfOff} {
+		cur := clone(t, base)
+		injected := ""
+		for i := range cur.Metrics {
+			m := &cur.Metrics[i]
+			if m.Kind == Exact && m.HigherBetter {
+				scaleMetric(m, 0.8)
+				injected = m.Name
+				break
+			}
+		}
+		if injected == "" {
+			t.Fatal("suite produced no higher-is-better exact metric to degrade")
+		}
+		rep := Compare(base, cur, mode)
+		if rep.OK() {
+			t.Fatalf("mode %s: 20%% drop in %s passed the gate\n%s", mode, injected, rep.Text())
+		}
+		assertOutcome(t, rep, injected, Fail)
+	}
+}
+
+// TestInjectedPerfRegression verifies the perf band: a 50% slowdown fails
+// under -perf fail but is demoted to a warning under -perf warn.
+func TestInjectedPerfRegression(t *testing.T) {
+	base := mustQuickRun(t)
+	cur := clone(t, base)
+	const name = "machine_step_wall_ns"
+	m := cur.Metric(name)
+	if m == nil {
+		t.Fatalf("suite produced no %s metric", name)
+	}
+	scaleMetric(m, 1.5)
+
+	rep := Compare(base, cur, PerfFail)
+	if rep.OK() {
+		t.Fatalf("50%% Step slowdown passed under PerfFail\n%s", rep.Text())
+	}
+	assertOutcome(t, rep, name, Fail)
+
+	rep = Compare(base, cur, PerfWarn)
+	if !rep.OK() {
+		t.Fatalf("PerfWarn must demote perf failures to warnings\n%s", rep.Text())
+	}
+	assertOutcome(t, rep, name, Warn)
+}
+
+// scaleMetric multiplies every field a comparison might read.
+func scaleMetric(m *Metric, factor float64) {
+	for i := range m.Samples {
+		m.Samples[i] *= factor
+	}
+	m.Median *= factor
+	m.Min *= factor
+}
+
+func assertOutcome(t *testing.T, rep *Report, metric string, want Outcome) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Metric == metric {
+			if f.Outcome != want {
+				t.Fatalf("%s: outcome %s, want %s (%s)", metric, f.Outcome, want, f.Msg)
+			}
+			return
+		}
+	}
+	t.Fatalf("no finding for %s", metric)
+}
+
+// TestSuiteDeterministic re-runs the suite and requires every exact metric
+// to reproduce bit-for-bit: the simulation is seeded, so the probes must be
+// too. Skipped in -short mode (it costs a second full quick run).
+func TestSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second suite run is slow")
+	}
+	first := mustQuickRun(t)
+	second, err := Run(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(first, second, PerfOff)
+	for _, f := range rep.Findings {
+		if f.Kind == Exact && f.Outcome != OK {
+			t.Errorf("%s: %g != %g across identical runs (%s)", f.Metric, f.Base, f.Cur, f.Msg)
+		}
+	}
+}
+
+// TestSelfTest smoke-runs the end-to-end gate validation (record, clean
+// re-check, injected Step slowdown must trip). Skipped in -short mode: it
+// runs the quick suite three times.
+func TestSelfTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest runs the quick suite three times")
+	}
+	if err := SelfTest(t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSyntheticOutcomes(t *testing.T) {
+	env := CurrentEnvironment()
+	mk := func(name string, kind MetricKind, stat string, v float64) Metric {
+		return newMetric(name, "u", stat, kind, false, []float64{v})
+	}
+	base := &Baseline{Schema: SchemaVersion, Env: env, Metrics: []Metric{
+		mk("p_ok", Perf, StatMin, 100),
+		mk("p_warn", Perf, StatMin, 100),
+		mk("p_fail", Perf, StatMin, 100),
+		mk("e_same", Exact, StatMedian, 0.95),
+		mk("gone", Exact, StatMedian, 1),
+	}}
+	cur := &Baseline{Schema: SchemaVersion, Env: env, Metrics: []Metric{
+		mk("p_ok", Perf, StatMin, 104),   // +4%: inside the noise band
+		mk("p_warn", Perf, StatMin, 115), // +15%: warn band
+		mk("p_fail", Perf, StatMin, 150), // +50%: fail band
+		mk("e_same", Exact, StatMedian, 0.95),
+		mk("fresh", Exact, StatMedian, 2), // not in baseline
+	}}
+	rep := Compare(base, cur, PerfFail)
+	assertOutcome(t, rep, "p_ok", OK)
+	assertOutcome(t, rep, "p_warn", Warn)
+	assertOutcome(t, rep, "p_fail", Fail)
+	assertOutcome(t, rep, "e_same", OK)
+	assertOutcome(t, rep, "gone", Fail) // a vanished probe is a regression
+	assertOutcome(t, rep, "fresh", New)
+	if rep.Fails != 2 || rep.Warns != 1 {
+		t.Fatalf("fails=%d warns=%d, want 2 and 1\n%s", rep.Fails, rep.Warns, rep.Text())
+	}
+
+	// Different hardware demotes the perf failure but keeps exact failures.
+	far := clone(t, cur)
+	far.Env.NumCPU = env.NumCPU + 8
+	far.Metric("e_same").Median = 0.5
+	far.Metric("e_same").Samples[0] = 0.5
+	rep = Compare(base, far, PerfFail)
+	if rep.EnvComparable {
+		t.Fatal("different NumCPU must not be comparable")
+	}
+	assertOutcome(t, rep, "p_fail", Warn)
+	assertOutcome(t, rep, "e_same", Fail)
+}
+
+func TestExactEpsilon(t *testing.T) {
+	env := CurrentEnvironment()
+	mk := func(v float64) *Baseline {
+		return &Baseline{Schema: SchemaVersion, Env: env,
+			Metrics: []Metric{newMetric("m", "u", StatMedian, Exact, true, []float64{v})}}
+	}
+	v := 0.9583333333333334
+	rep := Compare(mk(v), mk(v*(1+1e-12)), PerfFail)
+	if !rep.OK() {
+		t.Fatalf("sub-epsilon drift must pass\n%s", rep.Text())
+	}
+	rep = Compare(mk(v), mk(v*(1+1e-6)), PerfFail)
+	if rep.OK() {
+		t.Fatalf("super-epsilon drift must fail\n%s", rep.Text())
+	}
+}
+
+func TestBaselineNumbering(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestPath(dir); err == nil {
+		t.Fatal("LatestPath on an empty dir must error")
+	}
+	next, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next) != "BENCH_1.json" {
+		t.Fatalf("first baseline is %s, want BENCH_1.json", filepath.Base(next))
+	}
+	b := &Baseline{Schema: SchemaVersion, Tool: "test", Env: CurrentEnvironment(),
+		Metrics: []Metric{newMetric("m", "u", StatMedian, Exact, false, []float64{1})}}
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json"} {
+		if err := b.Save(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err := LatestPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != "BENCH_10.json" {
+		t.Fatalf("latest is %s, want BENCH_10.json (numeric, not lexical, order)", filepath.Base(latest))
+	}
+	next, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next) != "BENCH_11.json" {
+		t.Fatalf("next is %s, want BENCH_11.json", filepath.Base(next))
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	wrongSchema := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema": 999, "metrics": [{"name":"m"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(wrongSchema); err == nil {
+		t.Fatal("Load must reject a future schema version")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema": 1, "metrics": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Fatal("Load must reject a baseline with no metrics")
+	}
+}
+
+func TestMetricStats(t *testing.T) {
+	m := newMetric("m", "ns", StatMin, Perf, false, []float64{5, 3, 9, 4})
+	if m.Min != 3 {
+		t.Fatalf("min = %g, want 3", m.Min)
+	}
+	if m.Median != 4.5 {
+		t.Fatalf("median = %g, want 4.5", m.Median)
+	}
+	if m.Value() != 3 {
+		t.Fatalf("StatMin value = %g, want the min", m.Value())
+	}
+	m.Stat = StatMedian
+	if m.Value() != 4.5 {
+		t.Fatalf("StatMedian value = %g, want the median", m.Value())
+	}
+	odd := newMetric("m", "ns", StatMedian, Perf, false, []float64{2, 1, 3})
+	if odd.Median != 2 {
+		t.Fatalf("odd median = %g, want 2", odd.Median)
+	}
+}
+
+// TestSuiteShape pins the metric families every recorded baseline must
+// contain, so a probe cannot silently disappear from the suite itself.
+func TestSuiteShape(t *testing.T) {
+	b := mustQuickRun(t)
+	for _, name := range []string{
+		"machine_step_wall_ns",
+		"machine_step_telemetry_ratio",
+		"telemetry_aggregator_record_ns",
+		"telemetry_jsonl_record_ns",
+		"predictor_mean_error_raytrace_rs",
+		"qos_baseline_success_ferret_rs",
+		"qos_dirigentfreq_success_ferret_rs",
+		"qos_dirigent_success_ferret_rs",
+		"qos_dirigent_bg_throughput_ferret_rs",
+		"qos_dirigent_fg_ways_ferret_rs",
+	} {
+		m := b.Metric(name)
+		if m == nil {
+			t.Errorf("quick suite missing metric %s", name)
+			continue
+		}
+		if len(m.Samples) == 0 || math.IsNaN(m.Value()) {
+			t.Errorf("%s has no usable value", name)
+		}
+	}
+	for _, m := range b.Metrics {
+		if m.Kind != Perf && m.Kind != Exact {
+			t.Errorf("%s has unknown kind %q", m.Name, m.Kind)
+		}
+		if m.Stat != StatMin && m.Stat != StatMedian {
+			t.Errorf("%s has unknown stat %q", m.Name, m.Stat)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion is bumped whenever the baseline file format changes
+// incompatibly; Load refuses files written by a different major schema so a
+// stale gate never silently compares apples to oranges.
+const SchemaVersion = 1
+
+// baselinePattern matches committed baseline files: BENCH_<n>.json.
+var baselinePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// MetricKind separates the two comparison regimes of the suite.
+type MetricKind string
+
+const (
+	// Perf marks wall-clock measurements (ns/op, overhead ratios). They are
+	// noisy, so comparison is min-of-N against min-of-N with a per-metric
+	// tolerance band: small drifts warn, large ones fail.
+	Perf MetricKind = "perf"
+	// Exact marks seed-deterministic simulation outputs (QoS completion
+	// rates, prediction error). Same seeds must reproduce them bit-for-bit,
+	// so any deviation beyond float-printing noise fails the gate — a
+	// behaviour change must be acknowledged by re-recording the baseline.
+	Exact MetricKind = "exact"
+)
+
+// Metric is one measured quantity of a suite run.
+type Metric struct {
+	// Name identifies the metric; comparison is by name.
+	Name string `json:"name"`
+	// Unit is the human-readable unit ("ns/op", "ratio", "fraction", ...).
+	Unit string `json:"unit"`
+	// Kind selects the comparison regime.
+	Kind MetricKind `json:"kind"`
+	// HigherBetter orients regression detection (true for success rates and
+	// throughput, false for latencies and error fractions).
+	HigherBetter bool `json:"higher_better,omitempty"`
+	// Stat names the sample statistic used for comparison: "min" for raw
+	// timings (the noise floor of repeated runs — min-of-N), "median" for
+	// ratios and deterministic values, where noise is two-sided.
+	Stat string `json:"stat"`
+	// Samples are the raw per-repetition values (one entry for Exact
+	// metrics, PerfSamples entries for Perf metrics).
+	Samples []float64 `json:"samples"`
+	// Median and Min summarize Samples.
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+}
+
+// Statistic names.
+const (
+	StatMin    = "min"
+	StatMedian = "median"
+)
+
+// Value returns the number used for comparison, per Stat.
+func (m *Metric) Value() float64 {
+	if m.Stat == StatMin {
+		return m.Min
+	}
+	return m.Median
+}
+
+// newMetric builds a metric from raw samples, computing the summary fields.
+func newMetric(name, unit, stat string, kind MetricKind, higherBetter bool, samples []float64) Metric {
+	met := Metric{Name: name, Unit: unit, Stat: stat, Kind: kind, HigherBetter: higherBetter, Samples: samples}
+	if len(samples) == 0 {
+		return met
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	met.Min = sorted[0]
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		met.Median = sorted[mid]
+	} else {
+		met.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return met
+}
+
+// Environment stamps where a baseline was recorded. Perf numbers only
+// transfer between identical environments; the comparator demotes perf
+// failures to warnings when the environment differs.
+type Environment struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// CurrentEnvironment describes the running process.
+func CurrentEnvironment() Environment {
+	return Environment{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Comparable reports whether perf numbers recorded under e can be held
+// against ones measured under o with hard thresholds.
+func (e Environment) Comparable(o Environment) bool {
+	return e.GOOS == o.GOOS && e.GOARCH == o.GOARCH && e.NumCPU == o.NumCPU
+}
+
+// Baseline is one recorded suite run — the content of a BENCH_<n>.json file.
+type Baseline struct {
+	// Schema is the file format version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// Tool identifies the writer ("dirigent-ci").
+	Tool string `json:"tool"`
+	// RecordedAt is an RFC 3339 timestamp, stamped by the recording command
+	// (the library itself never reads the wall clock for content).
+	RecordedAt string `json:"recorded_at,omitempty"`
+	// Env is the recording environment.
+	Env Environment `json:"env"`
+	// Metrics are the suite's measurements, in suite order.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric, or nil.
+func (b *Baseline) Metric(name string) *Metric {
+	for i := range b.Metrics {
+		if b.Metrics[i].Name == name {
+			return &b.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Save writes the baseline as indented JSON. The write goes through a
+// temporary file in the same directory so a crash never leaves a truncated
+// baseline behind.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchreg: encode baseline: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*.json")
+	if err != nil {
+		return fmt.Errorf("benchreg: save baseline: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchreg: save baseline: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchreg: save baseline: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchreg: save baseline: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a baseline file.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: load baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchreg: parse %s: %w", path, err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchreg: %s has schema %d, this tool reads %d (re-record the baseline)",
+			path, b.Schema, SchemaVersion)
+	}
+	if len(b.Metrics) == 0 {
+		return nil, fmt.Errorf("benchreg: %s contains no metrics", path)
+	}
+	return &b, nil
+}
+
+// LatestPath returns the highest-numbered BENCH_<n>.json in dir, or an error
+// when none exists yet.
+func LatestPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("benchreg: scan %s: %w", dir, err)
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselinePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if bestN < 0 {
+		return "", fmt.Errorf("benchreg: no BENCH_<n>.json baseline in %s (run with -record first)", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// NextPath returns the path the next recorded baseline should be written to:
+// BENCH_<n+1>.json after the highest existing n, BENCH_1.json in a fresh
+// repository.
+func NextPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("benchreg: scan %s: %w", dir, err)
+	}
+	maxN := 0
+	for _, e := range entries {
+		m := baselinePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", maxN+1)), nil
+}

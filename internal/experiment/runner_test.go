@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -203,5 +204,64 @@ func TestRunResultHelpers(t *testing.T) {
 	}
 	if got := full.FGMissShare(); got != 0.25 {
 		t.Errorf("FGMissShare = %g", got)
+	}
+}
+
+// TestRunConfigsSubset checks the reduced entry point the regression harness
+// uses: only the requested configurations run (plus Baseline, which always
+// runs because it defines the deadlines), and unknown names are rejected
+// before any simulation starts.
+func TestRunConfigsSubset(t *testing.T) {
+	r := smallRunner()
+	r.Executions = 8
+	r.Warmup = 2
+	r.ConvergenceWarmup = 10
+	mix := Mix{Name: "subset", FG: []string{"ferret"}, BG: repeat("rs", 5)}
+
+	res, err := r.RunConfigs(mix, config.DirigentFreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByConfig) != 2 {
+		t.Fatalf("ByConfig has %d entries, want Baseline + DirigentFreq", len(res.ByConfig))
+	}
+	for _, name := range []config.Name{config.Baseline, config.DirigentFreq} {
+		rr := res.ByConfig[name]
+		if rr == nil {
+			t.Fatalf("missing %s result", name)
+		}
+		if sr := rr.MeanSuccessRate(); sr < 0 || sr > 1 {
+			t.Errorf("%s success rate %g outside [0,1]", name, sr)
+		}
+	}
+	if len(res.Deadlines) == 0 || res.Deadlines[0] <= 0 {
+		t.Errorf("deadlines not derived from the baseline run: %v", res.Deadlines)
+	}
+
+	// Requesting only Baseline still works and yields exactly one entry.
+	only, err := r.RunConfigs(mix, config.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only.ByConfig) != 1 || only.ByConfig[config.Baseline] == nil {
+		t.Fatalf("Baseline-only run has entries %v", len(only.ByConfig))
+	}
+
+	// The subset's results must be identical to the same configs from a full
+	// RunMix: each configuration is an independently seeded run.
+	if !testing.Short() {
+		full, err := r.RunMix(mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(res.ByConfig[config.DirigentFreq])
+		b, _ := json.Marshal(full.ByConfig[config.DirigentFreq])
+		if string(a) != string(b) {
+			t.Error("subset run differs from the same config inside a full RunMix")
+		}
+	}
+
+	if _, err := r.RunConfigs(mix, config.Name("nonsense")); err == nil {
+		t.Error("unknown config name must be rejected")
 	}
 }

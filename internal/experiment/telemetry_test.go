@@ -101,6 +101,21 @@ func TestAggregatorMatchesGroundTruth(t *testing.T) {
 	if agg.Executions() < 40 {
 		t.Errorf("executions seen = %d, want >= 40", agg.Executions())
 	}
+	// Per-stream execution durations replayed from completion events must
+	// equal the scheduler's own records — the invariant that lets collect()
+	// derive QoS statistics from the event stream.
+	for i, f := range colo.FG() {
+		want := f.Durations()
+		got := agg.StreamDurations(i)
+		if len(got) != len(want) {
+			t.Fatalf("stream %d: %d aggregated durations vs %d scheduler records", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].Seconds() != want[j] {
+				t.Errorf("stream %d execution %d: aggregated %v != scheduler %v s", i, j, got[j], want[j])
+			}
+		}
+	}
 	if agg.Fine().Decisions == 0 {
 		t.Error("no fine decisions aggregated")
 	}

@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
 )
 
@@ -30,6 +31,19 @@ func benchMachine(b *testing.B) *Machine {
 // cost per Step must stay within a few percent of this baseline.
 func BenchmarkMachineStep(b *testing.B) {
 	m := benchMachine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkMachineStepAggregator measures the same hot path with the
+// telemetry Aggregator attached — the configuration every experiment run
+// uses, and the numerator of the benchreg suite's overhead-ratio metric.
+func BenchmarkMachineStepAggregator(b *testing.B) {
+	m := benchMachine(b)
+	m.SetRecorder(telemetry.NewAggregator())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

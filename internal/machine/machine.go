@@ -65,6 +65,12 @@ type Config struct {
 	SlowJitterSigma float64
 	// SlowJitterPeriod is how long each slow-noise draw is held.
 	SlowJitterPeriod time.Duration
+	// StepHook, when non-nil, is invoked once at the start of every Step.
+	// It must not touch simulation state: the hook exists so the regression
+	// harness (internal/benchreg) can inject an artificial wall-clock
+	// slowdown and verify that its perf gate detects a slower Step. Always
+	// nil in production configurations.
+	StepHook func()
 }
 
 // DefaultConfig mirrors the paper's platform.
@@ -480,6 +486,9 @@ func (m *Machine) LastUtilization() float64 { return m.lastUtilization }
 // Step advances the machine by one quantum and returns any foreground
 // completions that occurred in it.
 func (m *Machine) Step() []Completion {
+	if m.cfg.StepHook != nil {
+		m.cfg.StepHook()
+	}
 	dt := m.cfg.Quantum
 	dtSec := dt.Seconds()
 	now := m.clock.Advance()

@@ -65,6 +65,14 @@ type Aggregator struct {
 	switches   int
 	segments   int
 	penaltySum time.Duration
+
+	// streamDurations collects per-FG-stream execution durations in
+	// completion order, keyed by stream index. This is the raw material of
+	// every QoS statistic (success rates, execution-time variance): keeping
+	// it here means the evaluation harness and the regression gate both
+	// derive those numbers from the event stream rather than private
+	// scheduler state.
+	streamDurations map[int][]time.Duration
 }
 
 // NewAggregator returns an empty aggregator. Machine geometry is learned
@@ -149,6 +157,10 @@ func (a *Aggregator) Record(ev Event) {
 		a.penaltySum += ev.Penalty
 	case KindExecutionComplete:
 		a.executions++
+		if a.streamDurations == nil {
+			a.streamDurations = map[int][]time.Duration{}
+		}
+		a.streamDurations[ev.Stream] = append(a.streamDurations[ev.Stream], ev.Duration)
 	}
 }
 
@@ -191,6 +203,17 @@ func (a *Aggregator) LLCMisses() float64 { return a.llcMisses }
 
 // Executions returns the number of completed FG executions.
 func (a *Aggregator) Executions() int { return a.executions }
+
+// StreamDurations returns one FG stream's execution durations in completion
+// order, reconstructed from KindExecutionComplete events (nil when the
+// stream completed nothing).
+func (a *Aggregator) StreamDurations(stream int) []time.Duration {
+	d := a.streamDurations[stream]
+	if d == nil {
+		return nil
+	}
+	return append([]time.Duration(nil), d...)
+}
 
 // Pauses and Resumes return machine-level task pause/resume transitions
 // (these can exceed the controller's action counts if other callers pause

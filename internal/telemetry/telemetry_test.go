@@ -261,3 +261,41 @@ func TestJSONLWriteError(t *testing.T) {
 		t.Errorf("Events() = %d, want 1 (writes after error dropped)", j.Events())
 	}
 }
+
+// TestAggregatorStreamDurations replays completion events for interleaved FG
+// streams and checks durations come back per stream, in completion order, as
+// defensive copies.
+func TestAggregatorStreamDurations(t *testing.T) {
+	a := NewAggregator()
+	ms := time.Millisecond
+	for _, ev := range []Event{
+		{Kind: KindExecutionComplete, Stream: 0, Duration: 480 * ms},
+		{Kind: KindExecutionComplete, Stream: 1, Duration: 300 * ms},
+		{Kind: KindExecutionComplete, Stream: 0, Duration: 510 * ms},
+		{Kind: KindExecutionComplete, Stream: 0, Duration: 495 * ms},
+		{Kind: KindQuantumStep}, // unrelated kinds must not contribute
+	} {
+		a.Record(ev)
+	}
+	want0 := []time.Duration{480 * ms, 510 * ms, 495 * ms}
+	got0 := a.StreamDurations(0)
+	if len(got0) != len(want0) {
+		t.Fatalf("stream 0: %d durations, want %d", len(got0), len(want0))
+	}
+	for i := range want0 {
+		if got0[i] != want0[i] {
+			t.Errorf("stream 0 execution %d: %v, want %v", i, got0[i], want0[i])
+		}
+	}
+	if got1 := a.StreamDurations(1); len(got1) != 1 || got1[0] != 300*ms {
+		t.Errorf("stream 1 durations = %v", got1)
+	}
+	if got := a.StreamDurations(7); got != nil {
+		t.Errorf("unseen stream returned %v, want nil", got)
+	}
+	// Mutating the returned slice must not corrupt the aggregator's state.
+	got0[0] = 0
+	if again := a.StreamDurations(0); again[0] != 480*ms {
+		t.Error("StreamDurations must return a copy")
+	}
+}

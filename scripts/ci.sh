@@ -1,14 +1,37 @@
 #!/usr/bin/env sh
 # Tier-1 verification: everything a change must pass before merging.
 #
-#   scripts/ci.sh          # full: vet + build + tests + race detector
-#   scripts/ci.sh -short   # skip the long end-to-end runs (passed to go test)
+#   scripts/ci.sh          # full: gofmt + vet + build + tests + race detector
+#   scripts/ci.sh -short   # same legs, but skip the long end-to-end tests
+#   scripts/ci.sh -bench   # additionally run the perf/QoS regression gate
+#                          # (dirigent-ci -check against the latest BENCH_<n>.json)
 #
-# The race leg covers internal packages only: the root package and cmd/ are
-# thin facades over them and are already exercised race-free by the plain
-# test leg.
+# -short and -bench combine. The race leg covers internal packages only: the
+# root package and cmd/ are thin facades over them and are already exercised
+# race-free by the plain test leg.
 set -eu
 cd "$(dirname "$0")/.."
+
+short=""
+bench=false
+for arg in "$@"; do
+	case "$arg" in
+	-short) short="-short" ;;
+	-bench) bench=true ;;
+	*)
+		echo "ci: unknown argument: $arg (want -short and/or -bench)" >&2
+		exit 2
+		;;
+	esac
+done
+
+echo "== gofmt -l"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "ci: files need gofmt:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -16,10 +39,15 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test ./... $*"
-go test "$@" ./...
+echo "== go test ./... $short"
+go test $short ./...
 
-echo "== go test -race ./internal/... $*"
-go test -race "$@" ./internal/...
+echo "== go test -race ./internal/... $short"
+go test -race $short ./internal/...
+
+if $bench; then
+	echo "== dirigent-ci -check"
+	go run ./cmd/dirigent-ci -check
+fi
 
 echo "ci: all checks passed"
