@@ -35,9 +35,11 @@ func main() {
 		fig12    = flag.Bool("fig12", false, "Fig. 12: BG frequency distribution (ferret+rs)")
 		fig15    = flag.Bool("fig15", false, "Fig. 15: FG/BG tradeoff sweep (raytrace+bwaves)")
 		headline = flag.Bool("headline", false, "headline numbers over all single-FG mixes")
+		resil    = flag.Bool("resilience", false, "resilience sweep: QoS under injected faults (ferret+rs); not part of -all")
 
 		executions = flag.Int("executions", 60, "FG executions per run")
 		predExecs  = flag.Int("pred-executions", 50, "executions per prediction probe")
+		short      = flag.Bool("short", false, "shrink -resilience to a CI smoke (one intensity, fewer executions)")
 		trace      = flag.String("trace", "", "write a JSONL telemetry trace of every run to this file")
 	)
 	flag.Parse()
@@ -46,7 +48,7 @@ func main() {
 		*fig9a, *fig9b, *fig9c, *fig11, *fig12, *fig15, *headline = true, true, true, true, true, true, true
 	}
 	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9a || *fig9b || *fig9c ||
-		*fig11 || *fig12 || *fig15 || *headline) {
+		*fig11 || *fig12 || *fig15 || *headline || *resil) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -183,6 +185,21 @@ func main() {
 		h, err := experiment.ComputeHeadline(combined)
 		check(err)
 		fmt.Println(h.Render())
+	}
+	if *resil {
+		mix := experiment.Mix{Name: "ferret rs", FG: []string{"ferret"}, BG: five("rs")}
+		opts := experiment.ResilienceOptions{}
+		if *short {
+			// CI smoke: one moderate intensity and a shortened run keep this
+			// under a minute while still exercising every fault hook end to
+			// end.
+			opts.Intensities = []float64{0.3}
+			r.Executions = min(r.Executions, 30)
+			r.ConvergenceWarmup = min(r.ConvergenceWarmup, 10)
+		}
+		res, err := r.ResilienceSweep(mix, opts)
+		check(err)
+		fmt.Println(experiment.RenderResilience(res))
 	}
 
 	check(flushTrace())

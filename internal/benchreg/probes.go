@@ -29,6 +29,9 @@ type Options struct {
 	// PredictionExecutions is the per-mix execution count of the predictor
 	// accuracy probes.
 	PredictionExecutions int
+	// ResilienceExecutions is the per-run FG execution count of the
+	// fault-injection probes.
+	ResilienceExecutions int
 	// Quick trims the exact probes to one mix per family — for self-tests
 	// and smoke runs, not for recorded baselines.
 	Quick bool
@@ -46,6 +49,7 @@ func DefaultOptions() Options {
 		EventIters:           200000,
 		Executions:           12,
 		PredictionExecutions: 16,
+		ResilienceExecutions: 40,
 	}
 }
 
@@ -57,13 +61,14 @@ func QuickOptions() Options {
 		EventIters:           40000,
 		Executions:           8,
 		PredictionExecutions: 8,
+		ResilienceExecutions: 24,
 		Quick:                true,
 	}
 }
 
 func (o Options) validate() error {
 	if o.PerfSamples < 1 || o.StepIters < 1 || o.EventIters < 1 ||
-		o.Executions < 4 || o.PredictionExecutions < 4 {
+		o.Executions < 4 || o.PredictionExecutions < 4 || o.ResilienceExecutions < 8 {
 		return fmt.Errorf("benchreg: invalid options %+v", o)
 	}
 	return nil
@@ -187,6 +192,39 @@ func Run(o Options) (*Baseline, error) {
 				[]float64{float64(dir.FGWays)}),
 		)
 	}
+
+	// --- Resilience (Kind Exact) -----------------------------------------
+	// A shrunk fault-injection sweep (single moderate intensity) over the
+	// detailed mix. The graceful-degradation contract is enforced here, not
+	// just recorded: the worst per-class FG success at moderate intensity
+	// must stay within 10 points of fault-free Dirigent, and re-profiling
+	// must recover a stale profile to within 2 points of the fault-free
+	// transient reference. The recorded values pin the exact
+	// seed-deterministic outcomes on top of that.
+	rr := experiment.NewRunner()
+	rr.Executions = o.ResilienceExecutions
+	rr.ConvergenceWarmup = 16
+	rmix := qosMixes(true)[0]
+	res, err := rr.ResilienceSweep(rmix, experiment.ResilienceOptions{Intensities: []float64{0.3}})
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: resilience probe %s: %w", rmix.Name, err)
+	}
+	minSucc := res.MinSuccessAt(0.3)
+	if res.CleanSuccess-minSucc > 0.10 {
+		return nil, fmt.Errorf("benchreg: resilience probe %s: worst class success %.3f more than 10 points below fault-free %.3f",
+			rmix.Name, minSucc, res.CleanSuccess)
+	}
+	if res.StaleCleanSuccess-res.RecoveredSuccess > 0.02 {
+		return nil, fmt.Errorf("benchreg: resilience probe %s: re-profiled success %.3f more than 2 points below fault-free transient %.3f",
+			rmix.Name, res.RecoveredSuccess, res.StaleCleanSuccess)
+	}
+	rslug := metricSlug(rmix.Name)
+	b.Metrics = append(b.Metrics,
+		newMetric("resilience_min_success_"+rslug, "fraction", StatMedian, Exact, true,
+			[]float64{minSucc}),
+		newMetric("resilience_reprofile_success_"+rslug, "fraction", StatMedian, Exact, true,
+			[]float64{res.RecoveredSuccess}),
+	)
 	return b, nil
 }
 

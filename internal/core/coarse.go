@@ -228,9 +228,12 @@ func (cc *CoarseController) Adjust(now sim.Time, window FineWindow) (int, error)
 		return cc.grow(misses, now, telemetry.ReasonCorrelation)
 	}
 
-	// Heuristic 3: BG heavily suppressed by the fine controller.
+	// Heuristic 3: BG heavily suppressed by the fine controller. Dropped
+	// actuations count as suppression pressure: each one is a resource
+	// shift the fine controller wanted for the FG and did not get, so
+	// under actuation faults the coarse controller compensates with cache.
 	if window.Decisions > 0 {
-		frac := float64(window.BGSuppressed) / float64(window.Decisions)
+		frac := float64(window.BGSuppressed+window.ActuationFailures) / float64(window.Decisions)
 		if frac > cc.cfg.SuppressedFrac {
 			return cc.grow(misses, now, telemetry.ReasonBGSuppressed)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -132,10 +133,14 @@ type FineController struct {
 	rec telemetry.Recorder
 
 	// The coarse controller's heuristic 3 consumes a windowed suppression
-	// fraction (§4.3); these two counters are control state, reset each
-	// coarse window, not telemetry.
-	windowDecisions  int
-	windowSuppressed int
+	// fraction (§4.3); these counters are control state, reset each coarse
+	// window, not telemetry. windowActFailures counts actuation requests
+	// (DVFS/pause/resume) the machine dropped — under fault injection those
+	// are resource shifts the FG asked for and did not get, so heuristic 3
+	// folds them into the suppression fraction.
+	windowDecisions   int
+	windowSuppressed  int
+	windowActFailures int
 
 	// aheadStreak counts consecutive all-ahead decisions, for the BG
 	// speed-up hold-off.
@@ -174,10 +179,11 @@ func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []
 		rec:          telemetry.OrNop(cfg.Recorder),
 	}
 	// Pin every managed core to a grade (the top one) so grade stepping is
-	// well-defined.
+	// well-defined. A dropped actuation (injected fault) is tolerated: the
+	// core snaps to a grade at the first successful transition.
 	top := cfg.Grades[len(cfg.Grades)-1]
 	for _, c := range append(append([]int(nil), fgCores...), bgCores...) {
-		if err := m.SetFreqLevel(c, top); err != nil {
+		if err := m.SetFreqLevel(c, top); err != nil && !errors.Is(err, machine.ErrActuation) {
 			return nil, err
 		}
 	}
@@ -200,7 +206,12 @@ func (fc *FineController) gradeOf(core int) int {
 	return g
 }
 
-func (fc *FineController) setGrade(core, grade int) {
+// setGrade requests a core's DVFS grade and reports whether the actuation
+// was accepted. A request dropped by an injected fault (machine.ErrActuation)
+// is surfaced — counted in the coarse window and emitted as an
+// ActionActuationFail event — and retried naturally at the next decision
+// that still wants it. Any other error is a logic bug and panics.
+func (fc *FineController) setGrade(now sim.Time, core, grade int) bool {
 	if grade < 0 {
 		grade = 0
 	}
@@ -209,8 +220,14 @@ func (fc *FineController) setGrade(core, grade int) {
 	}
 	// The grade is validated against machine levels at construction.
 	if err := fc.m.SetFreqLevel(core, fc.cfg.Grades[grade]); err != nil {
+		if errors.Is(err, machine.ErrActuation) {
+			fc.windowActFailures++
+			fc.emitAction(now, telemetry.ActionActuationFail, -1, core, -1)
+			return false
+		}
 		panic(fmt.Sprintf("core: setGrade: %v", err))
 	}
+	return true
 }
 
 // emitAction records one resource-shift action on the telemetry bus. Group
@@ -256,8 +273,9 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 		for _, i := range behind {
 			if fc.gradeOf(fc.fgCores[i]) != topGrade {
 				allWereMax = false
-				fc.setGrade(fc.fgCores[i], topGrade)
-				fc.emitAction(now, telemetry.ActionFGMaxBoost, fc.fgTasks[i], fc.fgCores[i], i)
+				if fc.setGrade(now, fc.fgCores[i], topGrade) {
+					fc.emitAction(now, telemetry.ActionFGMaxBoost, fc.fgTasks[i], fc.fgCores[i], i)
+				}
 			}
 		}
 		if allWereMax {
@@ -267,8 +285,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 				if fc.paused(fc.bgTasks[j]) {
 					continue
 				}
-				if g := fc.gradeOf(c); g > 0 {
-					fc.setGrade(c, g-1)
+				if g := fc.gradeOf(c); g > 0 && fc.setGrade(now, c, g-1) {
 					throttled = true
 				}
 			}
@@ -283,8 +300,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 		// Multi-FG rule: FG tasks expected to finish early are throttled
 		// down individually even while others lag.
 		for _, i := range ahead {
-			if g := fc.gradeOf(fc.fgCores[i]); g > 0 {
-				fc.setGrade(fc.fgCores[i], g-1)
+			if g := fc.gradeOf(fc.fgCores[i]); g > 0 && fc.setGrade(now, fc.fgCores[i], g-1) {
 				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], i)
 			}
 		}
@@ -323,24 +339,36 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 				break
 			}
 			fc.aheadStreak = 0
-			if fc.resumeAllPaused() {
+			resumed, resumeFailures := fc.resumeAllPaused(now)
+			if resumeFailures > 0 {
+				// A dropped resume leaves BG tasks stuck paused; retry at the
+				// very next all-ahead decision instead of waiting out a full
+				// hold-off.
+				fc.aheadStreak = fc.cfg.SpeedupHoldoff
+			}
+			if resumed {
 				fc.emitAction(now, telemetry.ActionBGResume, -1, -1, -1)
 				break
 			}
+			if resumeFailures > 0 {
+				break
+			}
+			sped := false
 			for j, c := range fc.bgCores {
 				if fc.paused(fc.bgTasks[j]) {
 					continue
 				}
-				if g := fc.gradeOf(c); g < topGrade {
-					fc.setGrade(c, g+1)
+				if g := fc.gradeOf(c); g < topGrade && fc.setGrade(now, c, g+1) {
+					sped = true
 				}
 			}
-			fc.emitAction(now, telemetry.ActionBGSpeedup, -1, -1, -1)
+			if sped {
+				fc.emitAction(now, telemetry.ActionBGSpeedup, -1, -1, -1)
+			}
 			break
 		}
 		for _, i := range ahead {
-			if g := fc.gradeOf(fc.fgCores[i]); g > 0 {
-				fc.setGrade(fc.fgCores[i], g-1)
+			if g := fc.gradeOf(fc.fgCores[i]); g > 0 && fc.setGrade(now, fc.fgCores[i], g-1) {
 				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], i)
 			}
 		}
@@ -418,23 +446,41 @@ func (fc *FineController) pauseMostIntrusive(now sim.Time) {
 		}
 	}
 	if bestIdx >= 0 {
-		if err := fc.m.Pause(fc.bgTasks[bestIdx]); err == nil {
-			fc.emitAction(now, telemetry.ActionBGPause, fc.bgTasks[bestIdx], fc.bgCores[bestIdx], -1)
+		if err := fc.m.Pause(fc.bgTasks[bestIdx]); err != nil {
+			if !errors.Is(err, machine.ErrActuation) {
+				panic(fmt.Sprintf("core: pauseMostIntrusive: %v", err))
+			}
+			// The pause was dropped: surface it instead of silently leaving
+			// the FG unprotected, and let the next decision retry.
+			fc.windowActFailures++
+			fc.emitAction(now, telemetry.ActionActuationFail, fc.bgTasks[bestIdx], fc.bgCores[bestIdx], -1)
+			return
 		}
+		fc.emitAction(now, telemetry.ActionBGPause, fc.bgTasks[bestIdx], fc.bgCores[bestIdx], -1)
 	}
 }
 
-// resumeAllPaused resumes every paused BG task; reports whether any were.
-func (fc *FineController) resumeAllPaused() bool {
-	any := false
-	for _, t := range fc.bgTasks {
-		if fc.paused(t) {
-			if err := fc.m.Resume(t); err == nil {
-				any = true
-			}
+// resumeAllPaused resumes every paused BG task. It reports whether any task
+// actually resumed, and how many resume requests the machine dropped
+// (injected faults) — each dropped request is counted in the coarse window
+// and emitted as an ActionActuationFail event.
+func (fc *FineController) resumeAllPaused(now sim.Time) (resumed bool, failures int) {
+	for j, t := range fc.bgTasks {
+		if !fc.paused(t) {
+			continue
 		}
+		if err := fc.m.Resume(t); err != nil {
+			if !errors.Is(err, machine.ErrActuation) {
+				panic(fmt.Sprintf("core: resumeAllPaused: %v", err))
+			}
+			failures++
+			fc.windowActFailures++
+			fc.emitAction(now, telemetry.ActionActuationFail, t, fc.bgCores[j], -1)
+			continue
+		}
+		resumed = true
 	}
-	return any
+	return resumed, failures
 }
 
 // FineWindow is the fine controller's windowed control input to the coarse
@@ -445,12 +491,21 @@ func (fc *FineController) resumeAllPaused() bool {
 type FineWindow struct {
 	Decisions    int
 	BGSuppressed int // decisions with all BG at min grade or paused
+	// ActuationFailures counts DVFS/pause/resume requests the machine
+	// dropped this window (injected faults) — resource shifts the controller
+	// wanted and did not get, which heuristic 3 treats as suppression
+	// pressure.
+	ActuationFailures int
 }
 
 // Window returns the decision window accumulated since the last
 // ResetWindow.
 func (fc *FineController) Window() FineWindow {
-	return FineWindow{Decisions: fc.windowDecisions, BGSuppressed: fc.windowSuppressed}
+	return FineWindow{
+		Decisions:         fc.windowDecisions,
+		BGSuppressed:      fc.windowSuppressed,
+		ActuationFailures: fc.windowActFailures,
+	}
 }
 
 // ResetWindow zeroes the window (the coarse controller reads and resets it
@@ -458,4 +513,5 @@ func (fc *FineController) Window() FineWindow {
 func (fc *FineController) ResetWindow() {
 	fc.windowDecisions = 0
 	fc.windowSuppressed = 0
+	fc.windowActFailures = 0
 }

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 )
+
+// ErrProfileTimeout marks an online-profiling run that hit its simulated
+// time limit. Callers distinguish it from validation or machine errors with
+// errors.Is; on timeout no partial profile is returned.
+var ErrProfileTimeout = errors.New("online profiling time limit exceeded")
 
 // OnlineProfileOptions configures in-place profiling.
 type OnlineProfileOptions struct {
@@ -72,8 +78,15 @@ func ProfileOnline(colo *sched.Colocation, stream int, opts OnlineProfileOptions
 	}
 	defer func() {
 		for _, t := range pausedByUs {
-			// Resume cannot fail for tasks we just paused.
-			_ = m.Resume(t)
+			// Under fault injection a resume request can be dropped; retry a
+			// few times so profiling restores the collocation whenever the
+			// fault is transient. A task still stuck paused afterwards is
+			// resumed by the fine controller's next release decision.
+			for attempt := 0; attempt < 4; attempt++ {
+				if m.Resume(t) == nil {
+					break
+				}
+			}
 		}
 	}()
 
@@ -86,7 +99,7 @@ func ProfileOnline(colo *sched.Colocation, stream int, opts OnlineProfileOptions
 	waitFor := f.Completed() + 1 + opts.WarmupExecutions
 	for f.Completed() < waitFor {
 		if m.Now() > deadline {
-			return nil, fmt.Errorf("core: online profiling warmup did not complete within %v", opts.Limit)
+			return nil, fmt.Errorf("core: online profiling warmup did not complete within %v: %w", opts.Limit, ErrProfileTimeout)
 		}
 		colo.Step()
 	}
@@ -100,7 +113,7 @@ func ProfileOnline(colo *sched.Colocation, stream int, opts OnlineProfileOptions
 	done := f.Completed() + 1
 	for f.Completed() < done {
 		if m.Now() > deadline {
-			return nil, fmt.Errorf("core: online profiled execution did not complete within %v", opts.Limit)
+			return nil, fmt.Errorf("core: online profiled execution did not complete within %v: %w", opts.Limit, ErrProfileTimeout)
 		}
 		colo.Step()
 		now := m.Now()

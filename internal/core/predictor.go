@@ -13,6 +13,11 @@ import (
 // §4.2); sensitivity is low in 0.1–0.3.
 const DefaultEMAWeight = 0.2
 
+// maxAlphaObservation caps per-segment rate factors entering the penalty
+// history. Fault-free runs see α well below it (typically ≤ 3–4 under heavy
+// contention), so the clamp only fires on degenerate observations.
+const maxAlphaObservation = 50
+
 // Predictor implements Dirigent's execution-time predictor (§4.2).
 //
 // The profile divides an execution into N segments, each with a profiled
@@ -183,7 +188,11 @@ func (p *Predictor) Observe(now sim.Time, progress float64) error {
 		return fmt.Errorf("core: time went backwards: %v < %v", now, p.prevTime)
 	}
 	if progress < p.prevProg {
-		return fmt.Errorf("core: progress went backwards: %g < %g", progress, p.prevProg)
+		// Counters on real hardware glitch: a noised or partially lost
+		// sample can read below the previous one. Treat it as "no progress
+		// this interval" rather than poisoning the milestone state — the
+		// next clean sample re-synchronizes.
+		progress = p.prevProg
 	}
 	for p.idx < len(p.milestones) && progress >= p.milestones[p.idx] {
 		m := p.milestones[p.idx]
@@ -200,6 +209,14 @@ func (p *Predictor) Observe(now sim.Time, progress float64) error {
 		profiled := p.profile.Segments[p.idx].Duration
 		alpha := float64(measured) / float64(profiled)
 		penalty := float64(measured - profiled) // (α−1)·ΔT_i, Eq. 1
+		if alpha > maxAlphaObservation {
+			// A degenerate observation (sample gap spanning several
+			// milestones, or a grossly stale profile) would otherwise inject
+			// an absurd penalty into the EMA and take ~1/w executions to
+			// wash out. Genuine contention keeps α in low single digits.
+			alpha = maxAlphaObservation
+			penalty = (maxAlphaObservation - 1) * float64(profiled)
+		}
 		// Penalty scaling factor: this execution's penalty relative to the
 		// historical average for the segment, sampled only when history
 		// carries a meaningful penalty (≥2% of the segment duration — the

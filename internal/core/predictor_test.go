@@ -70,8 +70,13 @@ func TestPredictorLifecycleErrors(t *testing.T) {
 	if err := pred.Observe(ms(4), 120); err == nil {
 		t.Error("backwards time should error")
 	}
-	if err := pred.Observe(ms(6), 50); err == nil {
-		t.Error("backwards progress should error")
+	// Backwards progress (a glitched counter read) is tolerated as "no
+	// progress this interval" and must not move the milestone state.
+	if err := pred.Observe(ms(6), 50); err != nil {
+		t.Errorf("backwards progress should be clamped, got %v", err)
+	}
+	if err := pred.Observe(ms(7), 120); err != nil {
+		t.Errorf("recovery after clamped sample should succeed, got %v", err)
 	}
 }
 

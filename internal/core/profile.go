@@ -110,6 +110,43 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 	return &p, nil
 }
 
+// StaleProfile returns a copy of p degraded as a stale profiling record
+// (the fault model's profile-staleness class; fault.Plan.ProfileScale /
+// ProfileRephase name these knobs).
+//
+// scale multiplies every segment duration (progress untouched, so the
+// milestones still match the task's real instruction budget): scale < 1
+// models an optimistic record taken on a faster configuration or before the
+// working set grew. rephase rotates the segment sequence by that fraction of
+// the execution, modelling phase misalignment — the program's behavior
+// changed shape since profiling, which the predictor's per-execution EMAs
+// cannot average away. scale ≤ 0 or 1 and rephase ≤ 0 are identities.
+func StaleProfile(p *Profile, scale, rephase float64) *Profile {
+	out := &Profile{
+		Benchmark:    p.Benchmark,
+		SamplePeriod: p.SamplePeriod,
+		Segments:     append([]Segment(nil), p.Segments...),
+	}
+	if scale > 0 && scale != 1 {
+		for i := range out.Segments {
+			out.Segments[i].Duration = time.Duration(float64(out.Segments[i].Duration) * scale)
+			if out.Segments[i].Duration <= 0 {
+				out.Segments[i].Duration = 1
+			}
+		}
+	}
+	if n := len(out.Segments); rephase > 0 && n > 1 {
+		shift := int(rephase*float64(n)) % n
+		if shift > 0 {
+			rotated := make([]Segment, 0, n)
+			rotated = append(rotated, out.Segments[shift:]...)
+			rotated = append(rotated, out.Segments[:shift]...)
+			out.Segments = rotated
+		}
+	}
+	return out
+}
+
 // ProfilerOptions configures offline profiling.
 type ProfilerOptions struct {
 	// SamplePeriod is ΔT (default 5 ms).

@@ -138,3 +138,51 @@ func TestProfileDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestStaleProfile(t *testing.T) {
+	src := syntheticProfile(10, 100)
+	for i := range src.Segments {
+		// Distinct durations so a rotation is observable.
+		src.Segments[i].Duration = time.Duration(i+1) * time.Millisecond
+	}
+
+	// Identities: scale 0/1 and rephase 0 copy the profile exactly.
+	for _, id := range []*Profile{StaleProfile(src, 0, 0), StaleProfile(src, 1, 0)} {
+		if id.Benchmark != src.Benchmark || id.SamplePeriod != src.SamplePeriod {
+			t.Fatal("metadata not preserved")
+		}
+		for i := range src.Segments {
+			if id.Segments[i] != src.Segments[i] {
+				t.Fatalf("identity distorted segment %d", i)
+			}
+		}
+	}
+
+	scaled := StaleProfile(src, 0.5, 0)
+	for i := range scaled.Segments {
+		if want := src.Segments[i].Duration / 2; scaled.Segments[i].Duration != want {
+			t.Errorf("segment %d duration = %v, want %v", i, scaled.Segments[i].Duration, want)
+		}
+		if scaled.Segments[i].Progress != src.Segments[i].Progress {
+			t.Errorf("segment %d progress changed under scaling", i)
+		}
+	}
+
+	rotated := StaleProfile(src, 0, 0.3) // shift = 3 of 10
+	for i := range rotated.Segments {
+		if want := src.Segments[(i+3)%10]; rotated.Segments[i] != want {
+			t.Errorf("segment %d = %+v, want %+v", i, rotated.Segments[i], want)
+		}
+	}
+	if rotated.TotalProgress() != src.TotalProgress() || rotated.TotalDuration() != src.TotalDuration() {
+		t.Error("rotation must preserve totals")
+	}
+
+	// Distortion never mutates the source.
+	if src.Segments[0].Duration != time.Millisecond {
+		t.Error("StaleProfile mutated its input")
+	}
+	if err := StaleProfile(src, 0.001, 0.7).Validate(); err != nil {
+		t.Errorf("extreme but positive distortion must stay valid: %v", err)
+	}
+}

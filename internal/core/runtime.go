@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"dirigent/internal/fault"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
@@ -43,6 +45,19 @@ type RuntimeConfig struct {
 	// recorder of its own. Nil disables telemetry. Recording is strictly
 	// observational — results are byte-identical with or without it.
 	Recorder telemetry.Recorder
+	// Faults perturbs the runtime's own inputs: counter samples (dropout /
+	// noise) and invocation ticks (dropped / late). Strictly opt-in; nil
+	// leaves the control loop byte-identical. Share the same injector with
+	// the machine so one seeded plan covers every hook.
+	Faults *fault.Injector
+	// ReprofileAlphaDrift enables chronic-profile-mismatch detection: when a
+	// stream's per-execution rate-factor average drifts from 1 by more than
+	// this for ReprofileAfter consecutive executions, the runtime pauses BG
+	// and re-profiles the stream in place (ProfileOnline, §7). 0 disables.
+	ReprofileAlphaDrift float64
+	// ReprofileAfter is the consecutive-drifting-execution count that
+	// triggers re-profiling (default 4 when detection is enabled).
+	ReprofileAfter int
 }
 
 func (c RuntimeConfig) withDefaults() RuntimeConfig {
@@ -57,6 +72,9 @@ func (c RuntimeConfig) withDefaults() RuntimeConfig {
 	}
 	if c.Overhead == 0 {
 		c.Overhead = DefaultOverhead
+	}
+	if c.ReprofileAlphaDrift > 0 && c.ReprofileAfter == 0 {
+		c.ReprofileAfter = 4
 	}
 	return c
 }
@@ -80,6 +98,24 @@ type Runtime struct {
 	// instrAtStart[i] is stream i's cumulative instruction counter at the
 	// start of its in-flight execution.
 	instrAtStart []float64
+
+	// lastProgress[i] is the progress value last delivered to stream i's
+	// predictor — the reference point for per-sample deltas under counter
+	// fault injection (allocated only when an injector is configured).
+	lastProgress []float64
+	// pendingTick is the due time of a tick postponed by an injected
+	// scheduling delay (0 = none).
+	pendingTick sim.Time
+
+	// Chronic-profile-mismatch state (allocated only when detection is on).
+	driftStreak      []int
+	needReprofile    []bool
+	lastDrift        []float64
+	anyNeedReprofile bool
+	// reprofiling suppresses onComplete while ProfileOnline drives the
+	// collocation (its completions belong to the profiler).
+	reprofiling bool
+	reprofiles  int
 
 	invocations int
 }
@@ -128,6 +164,14 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 		targets:      append([]time.Duration(nil), cfg.Targets...),
 		ticker:       sim.MustTicker(cfg.SamplePeriod),
 		instrAtStart: make([]float64, len(fgs)),
+	}
+	if cfg.Faults != nil {
+		r.lastProgress = make([]float64, len(fgs))
+	}
+	if cfg.ReprofileAlphaDrift > 0 {
+		r.driftStreak = make([]int, len(fgs))
+		r.needReprofile = make([]bool, len(fgs))
+		r.lastDrift = make([]float64, len(fgs))
 	}
 	var fgTasks, fgCores, bgTasks, bgCores []int
 	for i, f := range fgs {
@@ -218,17 +262,28 @@ func (r *Runtime) SetTarget(stream int, target time.Duration) error {
 // Invocations returns how many runtime invocations (samples) have occurred.
 func (r *Runtime) Invocations() int { return r.invocations }
 
+// Reprofiles returns how many successful in-place re-profiling episodes the
+// runtime has performed.
+func (r *Runtime) Reprofiles() int { return r.reprofiles }
+
 // onComplete handles an FG execution boundary: closes out the predictor,
 // records the execution for the coarse controller, and opens the next
 // execution.
 func (r *Runtime) onComplete(stream int, e sched.Execution) {
+	if r.reprofiling {
+		// ProfileOnline is driving the collocation; its executions are
+		// profiling material, not managed completions.
+		return
+	}
 	pred := r.preds[stream]
+	finished := false
 	if pred.Started() {
 		// FinishExecution resolves remaining milestones; errors indicate a
 		// logic bug (time/progress monotonicity is guaranteed here).
 		if err := pred.FinishExecution(e.End); err != nil {
 			panic(fmt.Sprintf("core: finish execution: %v", err))
 		}
+		finished = true
 	}
 	if r.coarse != nil {
 		missed := e.Duration > r.targets[stream]
@@ -240,18 +295,63 @@ func (r *Runtime) onComplete(stream int, e sched.Execution) {
 			r.fine.ResetWindow()
 		}
 	}
+	// Chronic profile mismatch: a healthy profile keeps the per-execution
+	// rate-factor average near 1 (contention shows up as transient spikes
+	// the controller counters, not a sustained offset). A drift persisting
+	// across executions means the profile itself is wrong — schedule an
+	// in-place re-profile.
+	if thr := r.cfg.ReprofileAlphaDrift; thr > 0 && finished {
+		drift := math.Abs(pred.AlphaMA() - 1)
+		if drift > thr {
+			r.driftStreak[stream]++
+			if r.driftStreak[stream] >= r.cfg.ReprofileAfter && !r.needReprofile[stream] {
+				r.driftStreak[stream] = 0
+				r.needReprofile[stream] = true
+				r.anyNeedReprofile = true
+				r.lastDrift[stream] = drift
+			}
+		} else {
+			r.driftStreak[stream] = 0
+		}
+	}
 	pred.BeginExecution(e.End)
 	f := r.colo.FG()[stream]
 	r.instrAtStart[stream] = r.colo.Machine().Counters().Task(f.Task).Instructions
+	if r.lastProgress != nil {
+		r.lastProgress[stream] = 0
+	}
 }
 
 // Step advances the collocation one quantum and runs the Dirigent sampling/
 // control loop when ΔT elapses.
 func (r *Runtime) Step() error {
+	if r.anyNeedReprofile {
+		r.runReprofiles()
+	}
 	r.colo.Step()
 	m := r.colo.Machine()
 	now := m.Now()
-	if !r.ticker.Fire(now) {
+	fired := r.ticker.Fire(now)
+	if fired {
+		// A fired tick may be perturbed: dropped entirely (the runtime
+		// process was descheduled past the whole ΔT) or postponed.
+		r.pendingTick = 0
+		if inj := r.cfg.Faults; inj != nil {
+			drop, delay := inj.TickOutcome(now)
+			if drop {
+				return nil
+			}
+			if delay > 0 {
+				r.pendingTick = now + sim.Time(delay)
+				return nil
+			}
+		}
+	} else if r.pendingTick != 0 && now >= r.pendingTick {
+		// A postponed invocation lands now.
+		r.pendingTick = 0
+		fired = true
+	}
+	if !fired {
 		return nil
 	}
 	r.invocations++
@@ -273,6 +373,22 @@ func (r *Runtime) Step() error {
 			r.preds[i].SetFrequencyFactor(nominal / f_cur)
 		}
 		progress := m.Counters().Task(f.Task).Instructions - r.instrAtStart[i]
+		if inj := r.cfg.Faults; inj != nil {
+			// Faults apply to the per-sample delta, the quantity a real
+			// counter read delivers. A dropout skips the observation entirely
+			// (the predictor bridges the gap at the next sample); noise
+			// scales the delta, and the perturbed value becomes the next
+			// sample's reference so errors do not compound systematically.
+			delta := progress - r.lastProgress[i]
+			pert, ok := inj.CounterRead(now, i, delta)
+			if !ok {
+				continue
+			}
+			progress = r.lastProgress[i] + pert
+		}
+		if r.lastProgress != nil {
+			r.lastProgress[i] = progress
+		}
 		if err := r.preds[i].Observe(now, progress); err != nil {
 			return fmt.Errorf("core: observe stream %d: %w", i, err)
 		}
@@ -308,6 +424,64 @@ func (r *Runtime) Run(until sim.Time) error {
 		}
 	}
 	return nil
+}
+
+// runReprofiles services pending re-profiling requests. Each one pauses BG
+// and records a fresh profile in place (ProfileOnline); on success the
+// stream's predictor is rebuilt over the new profile. Profiling failure is
+// graceful: the stale profile is kept, the drift streak rebuilds, and a
+// later request retries.
+func (r *Runtime) runReprofiles() {
+	r.anyNeedReprofile = false
+	for i := range r.needReprofile {
+		if r.needReprofile[i] {
+			r.needReprofile[i] = false
+			r.reprofileStream(i)
+		}
+	}
+}
+
+func (r *Runtime) reprofileStream(stream int) {
+	m := r.colo.Machine()
+	start := m.Now()
+	r.reprofiling = true
+	prof, err := ProfileOnline(r.colo, stream, OnlineProfileOptions{SamplePeriod: r.cfg.SamplePeriod})
+	r.reprofiling = false
+	now := m.Now()
+
+	rec := telemetry.OrNop(r.cfg.Recorder)
+	if rec.Enabled(telemetry.KindReprofile) {
+		rec.Record(telemetry.Event{
+			Kind: telemetry.KindReprofile, At: now,
+			Stream: stream, Alpha: r.lastDrift[stream],
+			Duration:   time.Duration(now - start),
+			Suppressed: err != nil,
+		})
+	}
+
+	if err == nil {
+		if pred, perr := NewPredictor(prof, r.cfg.EMAWeight); perr == nil {
+			pred.SetRecorder(r.cfg.Recorder, stream)
+			r.preds[stream] = pred
+			r.reprofiles++
+		}
+	}
+
+	// Profiling advanced the clock with onComplete suppressed, so every
+	// stream's in-flight bookkeeping is stale. Re-anchor all predictors at
+	// the current instant: abandoning partially observed executions is a
+	// bounded transient, while feeding multi-execution progress spans into
+	// Observe would poison the penalty history.
+	for j, f := range r.colo.FG() {
+		r.preds[j].BeginExecution(now)
+		r.instrAtStart[j] = m.Counters().Task(f.Task).Instructions
+		if r.lastProgress != nil {
+			r.lastProgress[j] = 0
+		}
+	}
+	r.ticker.Reset(now)
+	r.sampleCounter = 0
+	r.pendingTick = 0
 }
 
 // RunExecutions advances until every FG stream has completed at least n

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dirigent/internal/config"
@@ -297,18 +298,17 @@ func (r *Runner) PredictionAccuracy(executions, skip int) ([]*PredictionProbeRes
 	out := make([]*PredictionProbeResult, len(mixes))
 	errs := make([]error, len(mixes))
 	sem := make(chan struct{}, maxParallel())
-	done := make(chan int)
+	var wg sync.WaitGroup
 	for i := range mixes {
+		wg.Add(1)
 		go func(i int) {
+			defer wg.Done()
 			sem <- struct{}{}
+			defer func() { <-sem }()
 			out[i], errs[i] = r.PredictionProbe(mixes[i], executions, skip)
-			<-sem
-			done <- i
 		}(i)
 	}
-	for range mixes {
-		<-done
-	}
+	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mix %s: %w", mixes[i].Name, err)
@@ -321,6 +321,10 @@ func (r *Runner) PredictionAccuracy(executions, skip int) ([]*PredictionProbeRes
 func RenderPredictionAccuracy(results []*PredictionProbeResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 7: Prediction Accuracy for all FG-BG mixes\n")
+	if len(results) == 0 {
+		fmt.Fprintf(&b, "no results\n")
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-34s %12s %14s\n", "mix", "avg error", "normalized std")
 	var errSum float64
 	for _, res := range results {

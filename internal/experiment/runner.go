@@ -9,6 +9,7 @@ import (
 	"dirigent/internal/cache"
 	"dirigent/internal/config"
 	"dirigent/internal/core"
+	"dirigent/internal/fault"
 	"dirigent/internal/machine"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
@@ -142,6 +143,12 @@ type RunResult struct {
 	TotalLLCMisses float64
 	FGLLCMisses    float64
 	FGInstructions float64
+	// Faults counts injected faults observed in the run's event stream, by
+	// class and in total; Reprofiles counts successful in-place re-profiling
+	// episodes. All zero for fault-free runs.
+	Faults        int
+	FaultsByClass map[string]int
+	Reprofiles    int
 }
 
 // TotalMPKFGI returns machine-wide LLC misses per thousand FG instructions
@@ -241,6 +248,17 @@ type runSpec struct {
 	// results reflect converged behaviour, so those executions are run in
 	// addition to `execs` and excluded from statistics.
 	extraWarmup int
+	// faults is the injected fault plan (zero = clean run). Runtime classes
+	// flow through a seeded injector shared by the machine and the Dirigent
+	// runtime; the ProfileScale/ProfileRephase fields degrade the offline
+	// profiles before the runtime sees them.
+	faults fault.Plan
+	// reprofileDrift enables the runtime's chronic-mismatch detection
+	// (core.RuntimeConfig.ReprofileAlphaDrift) when positive;
+	// reprofileAfter overrides the drifting-execution streak length
+	// (0 keeps the runtime default).
+	reprofileDrift float64
+	reprofileAfter int
 }
 
 // RunMix executes a mix under all five configurations, deriving deadlines
@@ -381,21 +399,29 @@ func applyDeadlines(rr *RunResult, deadlines []float64) {
 
 // runOne executes a mix once under a resolved spec.
 func (r *Runner) runOne(mix Mix, spec runSpec) (*RunResult, error) {
-	mcfg := machine.DefaultConfig()
-	mcfg.Seed = mix.Seed()
-	m, err := machine.New(mcfg)
-	if err != nil {
-		return nil, err
-	}
-
 	// Every run gets its own aggregator — RunResult is populated from the
 	// same event stream an external sink would see. The user's sink (if
 	// any) is teed in, labelled mix/config so parallel runs stay
-	// attributable.
+	// attributable. Built before the machine because the fault injector
+	// (wired into the machine config) emits through the same bus.
 	agg := telemetry.NewAggregator()
 	rec := telemetry.Recorder(agg)
 	if r.Recorder != nil {
 		rec = telemetry.Tee(agg, telemetry.WithRun(r.Recorder, mix.Name+"/"+string(spec.cfg.Name)))
+	}
+
+	mcfg := machine.DefaultConfig()
+	mcfg.Seed = mix.Seed()
+	var inj *fault.Injector
+	if !spec.faults.IsZero() {
+		// One injector per run, seeded from the mix so fault schedules
+		// reproduce bit-for-bit; the machine and the runtime share it.
+		inj = fault.NewInjector(spec.faults, mix.Seed(), rec)
+		mcfg.Faults = inj
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
 	}
 	m.SetRecorder(rec)
 
@@ -450,12 +476,18 @@ func (r *Runner) runOne(mix Mix, spec runSpec) (*RunResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			if s := spec.faults; (s.ProfileScale > 0 && s.ProfileScale != 1) || s.ProfileRephase > 0 {
+				p = core.StaleProfile(p, s.ProfileScale, s.ProfileRephase)
+			}
 			profiles[i] = p
 		}
 		rt, err = core.NewRuntime(colo, profiles, core.RuntimeConfig{
-			Targets:            spec.targets,
-			EnablePartitioning: spec.cfg.RuntimePartitioning,
-			Recorder:           rec,
+			Targets:             spec.targets,
+			EnablePartitioning:  spec.cfg.RuntimePartitioning,
+			Recorder:            rec,
+			Faults:              inj,
+			ReprofileAlphaDrift: spec.reprofileDrift,
+			ReprofileAfter:      spec.reprofileAfter,
 		})
 		if err != nil {
 			return nil, err
@@ -491,6 +523,9 @@ func (r *Runner) collect(mix Mix, spec runSpec, colo *sched.Colocation, rt *core
 			rr.ConvergedAtExecution = agg.ConvergedAtExecution()
 		}
 	}
+	rr.Faults = agg.Faults()
+	rr.FaultsByClass = agg.FaultsByClass()
+	rr.Reprofiles = agg.Reprofiles()
 	warm := r.Warmup + spec.extraWarmup
 	for i, f := range colo.FG() {
 		// Durations come from the run's KindExecutionComplete events, not

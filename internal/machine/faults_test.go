@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"dirigent/internal/fault"
+)
+
+func newFaultyMachine(t *testing.T, plan fault.Plan) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Faults = fault.NewInjector(plan, 17, nil)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSetFreqLevelFaultFail(t *testing.T) {
+	m := newFaultyMachine(t, fault.Plan{DVFSFail: 1})
+	err := m.SetFreqLevel(0, 2)
+	if !errors.Is(err, ErrActuation) {
+		t.Fatalf("err = %v, want ErrActuation", err)
+	}
+	if l, _ := m.FreqLevel(0); l != m.MaxFreqLevel() {
+		t.Errorf("failed transition must leave the level unchanged, got %d", l)
+	}
+	// Requesting the current level is a no-op, never an actuation: it must
+	// succeed even under a plan that fails every transition.
+	if err := m.SetFreqLevel(0, m.MaxFreqLevel()); err != nil {
+		t.Errorf("no-op request drew a fault: %v", err)
+	}
+	if got := m.cfg.Faults.Count(fault.ClassDVFSFail); got != 1 {
+		t.Errorf("DVFSFail count = %d, want 1", got)
+	}
+}
+
+func TestSetFreqLevelFaultLatency(t *testing.T) {
+	m := newFaultyMachine(t, fault.Plan{DVFSLate: 1})
+	launch(t, m, "ferret", 0, 0)
+	if err := m.SetFreqLevel(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The transition is accepted but pending: reads report the old level,
+	// like a sysfs frequency mid-write.
+	if l, _ := m.FreqLevel(0); l != m.MaxFreqLevel() {
+		t.Fatalf("pending transition committed early: level %d", l)
+	}
+	// Re-requesting the pending level is a no-op (no second fault draw).
+	if err := m.SetFreqLevel(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.cfg.Faults.Count(fault.ClassDVFSLate); got != 1 {
+		t.Errorf("DVFSLate count = %d, want 1", got)
+	}
+	// Step past the 500 µs default latency (250 µs quanta): two quanta in
+	// flight, committed at the start of the third.
+	for i := 0; i < 3; i++ {
+		m.Step()
+	}
+	if l, _ := m.FreqLevel(0); l != 3 {
+		t.Errorf("transition did not commit after its latency: level %d", l)
+	}
+}
+
+func TestPauseResumeFaults(t *testing.T) {
+	m := newFaultyMachine(t, fault.Plan{PauseFail: 1})
+	id := launch(t, m, "ferret", 0, 0)
+	if err := m.Pause(id); !errors.Is(err, ErrActuation) {
+		t.Fatalf("Pause err = %v, want ErrActuation", err)
+	}
+	if p, _ := m.Paused(id); p {
+		t.Error("failed pause must leave the task running")
+	}
+
+	m2 := newFaultyMachine(t, fault.Plan{ResumeFail: 1})
+	id2 := launch(t, m2, "ferret", 0, 0)
+	if err := m2.Pause(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Resume(id2); !errors.Is(err, ErrActuation) {
+		t.Fatalf("Resume err = %v, want ErrActuation", err)
+	}
+	if p, _ := m2.Paused(id2); !p {
+		t.Error("failed resume must leave the task paused")
+	}
+	// Pausing an already-paused task is a no-op, not an actuation.
+	if err := m2.Pause(id2); err != nil {
+		t.Errorf("no-op pause drew a fault: %v", err)
+	}
+}
+
+func TestFaultFreeMachineHasNoPendingState(t *testing.T) {
+	m := newTestMachine(t)
+	if m.pendingFreq != nil {
+		t.Error("pendingFreq must stay nil without an injector (zero-cost opt-in)")
+	}
+	if err := m.SetFreqLevel(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := m.FreqLevel(0); l != 1 {
+		t.Errorf("immediate commit expected, level %d", l)
+	}
+}

@@ -20,16 +20,25 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"dirigent/internal/cache"
+	"dirigent/internal/fault"
 	"dirigent/internal/mem"
 	"dirigent/internal/perf"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
 )
+
+// ErrActuation marks an actuation request (DVFS transition, pause, resume)
+// dropped by an injected fault (Config.Faults). Controllers distinguish it
+// from programming errors: an actuation failure is counted, surfaced on the
+// telemetry bus, and retried on a later decision rather than treated as a
+// logic bug.
+var ErrActuation = errors.New("actuation dropped by injected fault")
 
 // BytesPerMiss is the memory traffic per LLC miss: a 64 B fill plus an
 // amortized writeback/overfetch, matching measured DRAM traffic per miss on
@@ -71,6 +80,11 @@ type Config struct {
 	// slowdown and verify that its perf gate detects a slower Step. Always
 	// nil in production configurations.
 	StepHook func()
+	// Faults, when non-nil, injects actuation faults: SetFreqLevel may fail
+	// (ErrActuation) or commit only after a latency, and Pause/Resume may
+	// fail. Strictly opt-in — nil (the default) leaves every code path
+	// byte-identical to a machine without fault support.
+	Faults *fault.Injector
 }
 
 // DefaultConfig mirrors the paper's platform.
@@ -93,6 +107,13 @@ type Completion struct {
 	Task int
 	// At is the simulated time at the end of the completing quantum.
 	At sim.Time
+}
+
+// pendingTransition is a DVFS request accepted but not yet committed (the
+// fault layer's actuation-latency model).
+type pendingTransition struct {
+	level int // target level; -1 = none pending
+	at    sim.Time
 }
 
 // Task is the machine's view of a running process.
@@ -126,6 +147,11 @@ type Machine struct {
 	// Dirigent runtime is pinned to a BG core and charges ~100 µs per
 	// invocation, §4.2); it is consumed from that core's next quanta.
 	overheadOwed []time.Duration
+
+	// pendingFreq holds per-core frequency transitions delayed by an
+	// injected DVFS-latency fault; Step commits them once due. Level -1
+	// means none pending. Only ever populated when cfg.Faults is set.
+	pendingFreq []pendingTransition
 
 	// freqResidency accumulates time spent at each frequency level per
 	// core, for Fig. 12.
@@ -199,6 +225,12 @@ func New(cfg Config) (*Machine, error) {
 	for c := range m.coreFreq {
 		m.coreFreq[c] = top
 		m.freqResidency[c] = make([]time.Duration, len(cfg.FreqLevelsGHz))
+	}
+	if cfg.Faults != nil {
+		m.pendingFreq = make([]pendingTransition, cfg.Cores)
+		for c := range m.pendingFreq {
+			m.pendingFreq[c].level = -1
+		}
 	}
 	return m, nil
 }
@@ -336,6 +368,9 @@ func (m *Machine) Pause(taskID int) error {
 		return fmt.Errorf("machine: unknown task %d", taskID)
 	}
 	if !t.paused {
+		if m.cfg.Faults.PauseFails(m.clock.Now(), taskID, t.core) {
+			return fmt.Errorf("machine: pause task %d: %w", taskID, ErrActuation)
+		}
 		t.paused = true
 		if m.rec.Enabled(telemetry.KindTaskPause) {
 			m.rec.Record(telemetry.Event{
@@ -354,6 +389,9 @@ func (m *Machine) Resume(taskID int) error {
 		return fmt.Errorf("machine: unknown task %d", taskID)
 	}
 	if t.paused {
+		if m.cfg.Faults.ResumeFails(m.clock.Now(), taskID, t.core) {
+			return fmt.Errorf("machine: resume task %d: %w", taskID, ErrActuation)
+		}
 		t.paused = false
 		if m.rec.Enabled(telemetry.KindTaskResume) {
 			m.rec.Record(telemetry.Event{
@@ -417,7 +455,12 @@ func (m *Machine) checkCore(core int) error {
 	return nil
 }
 
-// SetFreqLevel sets a core's DVFS operating point by level index.
+// SetFreqLevel requests a core's DVFS operating point by level index.
+// Without fault injection the transition commits immediately. Under an
+// injected fault plan the request may fail (ErrActuation) or be accepted
+// but commit only after an actuation latency — FreqLevel keeps reporting
+// the old level until then, exactly like reading back a sysfs frequency
+// mid-transition.
 func (m *Machine) SetFreqLevel(core, level int) error {
 	if err := m.checkCore(core); err != nil {
 		return err
@@ -425,16 +468,44 @@ func (m *Machine) SetFreqLevel(core, level int) error {
 	if level < 0 || level >= len(m.cfg.FreqLevelsGHz) {
 		return fmt.Errorf("machine: frequency level %d out of range [0,%d)", level, len(m.cfg.FreqLevelsGHz))
 	}
-	if prev := m.coreFreq[core]; prev != level {
-		m.coreFreq[core] = level
-		if m.rec.Enabled(telemetry.KindDVFSTransition) {
-			m.rec.Record(telemetry.Event{
-				Kind: telemetry.KindDVFSTransition, At: m.clock.Now(),
-				Core: core, FromLevel: prev, ToLevel: level,
-			})
-		}
+	// The effective target is the pending transition if one is in flight;
+	// re-requesting it (or the committed level) is a no-op, not a new
+	// actuation.
+	target := m.coreFreq[core]
+	if m.pendingFreq != nil && m.pendingFreq[core].level >= 0 {
+		target = m.pendingFreq[core].level
 	}
+	if level == target {
+		return nil
+	}
+	if inj := m.cfg.Faults; inj != nil {
+		fail, delay := inj.DVFSOutcome(m.clock.Now(), core)
+		if fail {
+			return fmt.Errorf("machine: set core %d frequency level %d: %w", core, level, ErrActuation)
+		}
+		if delay > 0 {
+			m.pendingFreq[core] = pendingTransition{level: level, at: m.clock.Now() + sim.Time(delay)}
+			return nil
+		}
+		m.pendingFreq[core].level = -1 // an immediate commit supersedes any pending one
+	}
+	m.commitFreq(core, level)
 	return nil
+}
+
+// commitFreq applies a frequency transition and emits its event.
+func (m *Machine) commitFreq(core, level int) {
+	prev := m.coreFreq[core]
+	if prev == level {
+		return
+	}
+	m.coreFreq[core] = level
+	if m.rec.Enabled(telemetry.KindDVFSTransition) {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindDVFSTransition, At: m.clock.Now(),
+			Core: core, FromLevel: prev, ToLevel: level,
+		})
+	}
 }
 
 // FreqLevel returns a core's current DVFS level index.
@@ -492,6 +563,17 @@ func (m *Machine) Step() []Completion {
 	dt := m.cfg.Quantum
 	dtSec := dt.Seconds()
 	now := m.clock.Advance()
+
+	// Commit DVFS transitions whose injected actuation latency has elapsed,
+	// before this quantum's frequencies are read.
+	if m.pendingFreq != nil {
+		for c := range m.pendingFreq {
+			if p := m.pendingFreq[c]; p.level >= 0 && now >= p.at {
+				m.pendingFreq[c].level = -1
+				m.commitFreq(c, p.level)
+			}
+		}
+	}
 
 	// Per-core effective compute time after runtime-overhead theft, and
 	// per-quantum jitter draws (one per running task, outside the solver

@@ -66,6 +66,13 @@ type Aggregator struct {
 	segments   int
 	penaltySum time.Duration
 
+	// faultsByClass counts injected faults (KindFault) keyed by class wire
+	// name; reprofiles counts runtime re-profiling episodes (KindReprofile)
+	// that succeeded.
+	faultsByClass map[string]int
+	faults        int
+	reprofiles    int
+
 	// streamDurations collects per-FG-stream execution durations in
 	// completion order, keyed by stream index. This is the raw material of
 	// every QoS statistic (success rates, execution-time variance): keeping
@@ -161,6 +168,16 @@ func (a *Aggregator) Record(ev Event) {
 			a.streamDurations = map[int][]time.Duration{}
 		}
 		a.streamDurations[ev.Stream] = append(a.streamDurations[ev.Stream], ev.Duration)
+	case KindFault:
+		a.faults++
+		if a.faultsByClass == nil {
+			a.faultsByClass = map[string]int{}
+		}
+		a.faultsByClass[string(ev.Reason)]++
+	case KindReprofile:
+		if !ev.Suppressed {
+			a.reprofiles++
+		}
 	}
 }
 
@@ -223,6 +240,26 @@ func (a *Aggregator) Resumes() int { return a.resumes }
 
 // Switches returns rotate-BG program swaps observed.
 func (a *Aggregator) Switches() int { return a.switches }
+
+// Faults returns how many injected faults (KindFault events) were observed.
+func (a *Aggregator) Faults() int { return a.faults }
+
+// FaultsByClass returns injected-fault counts keyed by fault-class wire
+// name (nil when no faults were observed).
+func (a *Aggregator) FaultsByClass() map[string]int {
+	if a.faultsByClass == nil {
+		return nil
+	}
+	out := make(map[string]int, len(a.faultsByClass))
+	for k, v := range a.faultsByClass {
+		out[k] = v
+	}
+	return out
+}
+
+// Reprofiles returns how many successful runtime re-profiling episodes were
+// observed.
+func (a *Aggregator) Reprofiles() int { return a.reprofiles }
 
 // Segments returns how many per-segment penalty observations were made.
 func (a *Aggregator) Segments() int { return a.segments }

@@ -168,6 +168,17 @@ func appendEvent(b []byte, ev Event) []byte {
 		b = appendInt(b, "delta", ev.Delta)
 		b = appendInt(b, "fg_ways", ev.FGWays)
 		b = appendInt(b, "exec_count", ev.ExecCount)
+	case KindFault:
+		b = appendStr(b, "class", string(ev.Reason))
+		b = appendInt(b, "task", ev.Task)
+		b = appendInt(b, "core", ev.Core)
+		b = appendInt(b, "stream", ev.Stream)
+		b = appendInt(b, "delay_ns", int(ev.Duration))
+	case KindReprofile:
+		b = appendInt(b, "stream", ev.Stream)
+		b = appendFloat(b, "alpha_drift", ev.Alpha)
+		b = appendInt(b, "duration_ns", int(ev.Duration))
+		b = appendBool(b, "failed", ev.Suppressed)
 	}
 	b = append(b, '}', '\n')
 	return b

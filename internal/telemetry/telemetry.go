@@ -79,6 +79,17 @@ const (
 	// not it changed the partition).
 	// Fields: Reason, Delta, FGWays, ExecCount.
 	KindCoarseDecision
+	// KindFault is one injected fault (internal/fault): Reason carries the
+	// fault class wire name, Duration the injected latency for delayed
+	// actuation classes, and Task/Core/Stream the identity the fault hit
+	// (-1 where not applicable).
+	KindFault
+	// KindReprofile reports the runtime re-profiling a stream in place
+	// after detecting chronic profile mismatch (sustained α drift).
+	// Fields: Stream, Alpha (the drift that triggered), Duration (the
+	// simulated time profiling took), Suppressed (true when profiling
+	// failed and the stale profile was kept).
+	KindReprofile
 
 	numKinds
 )
@@ -98,6 +109,8 @@ var kindNames = [numKinds]string{
 	KindFineDecision:      "fine_decision",
 	KindFineAction:        "fine_action",
 	KindCoarseDecision:    "coarse_decision",
+	KindFault:             "fault",
+	KindReprofile:         "reprofile",
 }
 
 // String returns the stable wire name of the kind (used in JSONL traces).
@@ -134,16 +147,21 @@ const (
 	ActionBGPause
 	// ActionBGResume: all paused BG tasks were resumed.
 	ActionBGResume
+	// ActionActuationFail: a DVFS/pause/resume actuation the controller
+	// requested was dropped (injected fault); the controller retries on a
+	// later decision.
+	ActionActuationFail
 )
 
 var actionNames = [...]string{
-	ActionNone:       "none",
-	ActionFGMaxBoost: "fg_max_boost",
-	ActionFGThrottle: "fg_throttle",
-	ActionBGThrottle: "bg_throttle",
-	ActionBGSpeedup:  "bg_speedup",
-	ActionBGPause:    "bg_pause",
-	ActionBGResume:   "bg_resume",
+	ActionNone:          "none",
+	ActionFGMaxBoost:    "fg_max_boost",
+	ActionFGThrottle:    "fg_throttle",
+	ActionBGThrottle:    "bg_throttle",
+	ActionBGSpeedup:     "bg_speedup",
+	ActionBGPause:       "bg_pause",
+	ActionBGResume:      "bg_resume",
+	ActionActuationFail: "actuation_fail",
 }
 
 // String returns the stable wire name of the action.

@@ -2,6 +2,7 @@
 # Tier-1 verification: everything a change must pass before merging.
 #
 #   scripts/ci.sh          # full: gofmt + vet + build + tests + race detector
+#                          # + the shrunk fault-injection (resilience) smoke
 #   scripts/ci.sh -short   # same legs, but skip the long end-to-end tests
 #   scripts/ci.sh -bench   # additionally run the perf/QoS regression gate
 #                          # (dirigent-ci -check against the latest BENCH_<n>.json)
@@ -44,6 +45,9 @@ go test $short ./...
 
 echo "== go test -race ./internal/... $short"
 go test -race $short ./internal/...
+
+echo "== dirigent-bench -resilience -short (fault-injection smoke)"
+go run ./cmd/dirigent-bench -resilience -short >/dev/null
 
 if $bench; then
 	echo "== dirigent-ci -check"
