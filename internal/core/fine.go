@@ -117,10 +117,14 @@ type FineController struct {
 	m   *machine.Machine
 	cfg FineConfig
 
-	fgTasks []int // task IDs, parallel to the runtime's FG streams
+	fgTasks []int // task IDs, parallel to the runtime's active FG streams
 	fgCores []int
-	bgTasks []int
-	bgCores []int
+	// fgStreams holds each managed FG task's stable stream index, used to
+	// label telemetry: with mid-run admission/removal the controller's
+	// compact task list no longer coincides with stream numbering.
+	fgStreams []int
+	bgTasks   []int
+	bgCores   []int
 
 	// missSnapshot holds each BG task's cumulative LLC misses at the last
 	// decision, for the intrusiveness ranking ("the number of LLC load
@@ -173,10 +177,14 @@ func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []
 		cfg:          cfg,
 		fgTasks:      append([]int(nil), fgTasks...),
 		fgCores:      append([]int(nil), fgCores...),
+		fgStreams:    make([]int, len(fgTasks)),
 		bgTasks:      append([]int(nil), bgTasks...),
 		bgCores:      append([]int(nil), bgCores...),
 		missSnapshot: map[int]float64{},
 		rec:          telemetry.OrNop(cfg.Recorder),
+	}
+	for i := range fc.fgStreams {
+		fc.fgStreams[i] = i
 	}
 	// Pin every managed core to a grade (the top one) so grade stepping is
 	// well-defined. A dropped actuation (injected fault) is tolerated: the
@@ -248,6 +256,9 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 	if len(status) != len(fc.fgTasks) {
 		return fmt.Errorf("core: %d statuses for %d FG tasks", len(status), len(fc.fgTasks))
 	}
+	if len(status) == 0 {
+		return nil
+	}
 	fc.windowDecisions++
 
 	topGrade := len(fc.cfg.Grades) - 1
@@ -274,7 +285,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 			if fc.gradeOf(fc.fgCores[i]) != topGrade {
 				allWereMax = false
 				if fc.setGrade(now, fc.fgCores[i], topGrade) {
-					fc.emitAction(now, telemetry.ActionFGMaxBoost, fc.fgTasks[i], fc.fgCores[i], i)
+					fc.emitAction(now, telemetry.ActionFGMaxBoost, fc.fgTasks[i], fc.fgCores[i], fc.fgStreams[i])
 				}
 			}
 		}
@@ -301,7 +312,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 		// down individually even while others lag.
 		for _, i := range ahead {
 			if g := fc.gradeOf(fc.fgCores[i]); g > 0 && fc.setGrade(now, fc.fgCores[i], g-1) {
-				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], i)
+				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], fc.fgStreams[i])
 			}
 		}
 
@@ -369,7 +380,7 @@ func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 		}
 		for _, i := range ahead {
 			if g := fc.gradeOf(fc.fgCores[i]); g > 0 && fc.setGrade(now, fc.fgCores[i], g-1) {
-				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], i)
+				fc.emitAction(now, telemetry.ActionFGThrottle, fc.fgTasks[i], fc.fgCores[i], fc.fgStreams[i])
 			}
 		}
 	}
@@ -514,4 +525,69 @@ func (fc *FineController) ResetWindow() {
 	fc.windowDecisions = 0
 	fc.windowSuppressed = 0
 	fc.windowActFailures = 0
+}
+
+// AddFG registers a newly admitted FG task with the controller; stream is
+// its stable stream index for telemetry labels. The core is pinned to the
+// top grade, like construction-time FG cores.
+func (fc *FineController) AddFG(task, core, stream int) error {
+	if err := fc.pinTop(core); err != nil {
+		return err
+	}
+	fc.fgTasks = append(fc.fgTasks, task)
+	fc.fgCores = append(fc.fgCores, core)
+	fc.fgStreams = append(fc.fgStreams, stream)
+	return nil
+}
+
+// RemoveFGByTask drops an FG task from the controller's managed set
+// (mid-run stream eviction). Remaining entries keep their relative order,
+// so Decide's status slices stay parallel to the runtime's active streams.
+func (fc *FineController) RemoveFGByTask(task int) error {
+	for i, t := range fc.fgTasks {
+		if t != task {
+			continue
+		}
+		fc.fgTasks = append(fc.fgTasks[:i], fc.fgTasks[i+1:]...)
+		fc.fgCores = append(fc.fgCores[:i], fc.fgCores[i+1:]...)
+		fc.fgStreams = append(fc.fgStreams[:i], fc.fgStreams[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("core: FG task %d not managed", task)
+}
+
+// AddBG registers a newly admitted BG task; its core is pinned to the top
+// grade so grade stepping is well-defined from the first decision.
+func (fc *FineController) AddBG(task, core int) error {
+	if err := fc.pinTop(core); err != nil {
+		return err
+	}
+	fc.bgTasks = append(fc.bgTasks, task)
+	fc.bgCores = append(fc.bgCores, core)
+	fc.missSnapshot[task] = fc.m.Counters().Task(task).LLCMisses
+	return nil
+}
+
+// RemoveBG drops a BG task from the controller's managed set.
+func (fc *FineController) RemoveBG(task int) error {
+	for j, t := range fc.bgTasks {
+		if t != task {
+			continue
+		}
+		fc.bgTasks = append(fc.bgTasks[:j], fc.bgTasks[j+1:]...)
+		fc.bgCores = append(fc.bgCores[:j], fc.bgCores[j+1:]...)
+		delete(fc.missSnapshot, task)
+		return nil
+	}
+	return fmt.Errorf("core: BG task %d not managed", task)
+}
+
+// pinTop pins a core to the controller's top grade, tolerating a dropped
+// actuation exactly like the constructor does.
+func (fc *FineController) pinTop(core int) error {
+	top := fc.cfg.Grades[len(fc.cfg.Grades)-1]
+	if err := fc.m.SetFreqLevel(core, top); err != nil && !errors.Is(err, machine.ErrActuation) {
+		return err
+	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
+	"dirigent/internal/workload"
 )
 
 // DefaultOverhead is the measured cost of one Dirigent invocation
@@ -247,7 +248,7 @@ func (r *Runtime) Targets() []time.Duration {
 }
 
 // SetTarget changes a stream's latency target (used by the tradeoff sweep,
-// §5.5).
+// §5.5, and by served tenants retargeting deadlines mid-run).
 func (r *Runtime) SetTarget(stream int, target time.Duration) error {
 	if stream < 0 || stream >= len(r.targets) {
 		return fmt.Errorf("core: stream %d out of range", stream)
@@ -257,6 +258,97 @@ func (r *Runtime) SetTarget(stream int, target time.Duration) error {
 	}
 	r.targets[stream] = target
 	return nil
+}
+
+// AdmitStream admits a new FG stream mid-run: the benchmark is launched on
+// a free core (sched.Colocation.AdmitFG), a predictor is built over the
+// given offline profile, and the fine controller takes the new core under
+// management. It returns the new stream's index. Admission changes
+// subsequent machine state — results are reproducible only against the same
+// admission schedule.
+func (r *Runtime) AdmitStream(b *workload.Benchmark, profile *Profile, target time.Duration) (int, error) {
+	if profile == nil {
+		return 0, fmt.Errorf("core: nil profile")
+	}
+	if b == nil || profile.Benchmark != b.Name {
+		return 0, fmt.Errorf("core: profile %q does not match admitted benchmark", profile.Benchmark)
+	}
+	if target <= 0 {
+		return 0, fmt.Errorf("core: target %v must be positive", target)
+	}
+	pred, err := NewPredictor(profile, r.cfg.EMAWeight)
+	if err != nil {
+		return 0, err
+	}
+	stream, err := r.colo.AdmitFG(b)
+	if err != nil {
+		return 0, err
+	}
+	f := r.colo.FG()[stream]
+	m := r.colo.Machine()
+	if err := r.fine.AddFG(f.Task, f.Core, stream); err != nil {
+		return 0, err
+	}
+	pred.SetRecorder(r.cfg.Recorder, stream)
+	pred.BeginExecution(m.Now())
+	r.preds = append(r.preds, pred)
+	r.targets = append(r.targets, target)
+	r.instrAtStart = append(r.instrAtStart, m.Counters().Task(f.Task).Instructions)
+	if r.lastProgress != nil {
+		r.lastProgress = append(r.lastProgress, 0)
+	}
+	if r.driftStreak != nil {
+		r.driftStreak = append(r.driftStreak, 0)
+		r.needReprofile = append(r.needReprofile, false)
+		r.lastDrift = append(r.lastDrift, 0)
+	}
+	return stream, nil
+}
+
+// RemoveStream evicts an FG stream mid-run: the fine controller releases
+// its core and the colocation kills its task. The stream index stays valid
+// (marked removed) so prior telemetry and results keep their labels; the
+// last active stream cannot be removed.
+func (r *Runtime) RemoveStream(stream int) error {
+	if stream < 0 || stream >= len(r.preds) {
+		return fmt.Errorf("core: stream %d out of range", stream)
+	}
+	f := r.colo.FG()[stream]
+	if f.Removed() {
+		return fmt.Errorf("core: stream %d already removed", stream)
+	}
+	task := f.Task
+	if err := r.colo.RemoveFG(stream); err != nil {
+		return err
+	}
+	if err := r.fine.RemoveFGByTask(task); err != nil {
+		return err
+	}
+	if r.needReprofile != nil {
+		r.needReprofile[stream] = false
+	}
+	return nil
+}
+
+// AdmitBG admits a new background worker mid-run and places it under fine
+// control; it returns the worker's task ID (the handle RemoveBG takes).
+func (r *Runtime) AdmitBG(spec sched.BGSpec) (int, error) {
+	w, err := r.colo.AdmitBG(spec)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.fine.AddBG(w.Task, w.Core); err != nil {
+		return 0, err
+	}
+	return w.Task, nil
+}
+
+// RemoveBG evicts a background worker mid-run.
+func (r *Runtime) RemoveBG(task int) error {
+	if err := r.fine.RemoveBG(task); err != nil {
+		return err
+	}
+	return r.colo.RemoveBG(task)
 }
 
 // Invocations returns how many runtime invocations (samples) have occurred.
@@ -270,6 +362,9 @@ func (r *Runtime) Reprofiles() int { return r.reprofiles }
 // records the execution for the coarse controller, and opens the next
 // execution.
 func (r *Runtime) onComplete(stream int, e sched.Execution) {
+	if r.colo.FG()[stream].Removed() {
+		return
+	}
 	if r.reprofiling {
 		// ProfileOnline is driving the collocation; its executions are
 		// profiling material, not managed completions.
@@ -369,6 +464,9 @@ func (r *Runtime) Step() error {
 	// not mistaken for interference.
 	nominal := m.Config().FreqLevelsGHz[m.MaxFreqLevel()]
 	for i, f := range r.colo.FG() {
+		if f.Removed() {
+			continue
+		}
 		if f_cur, err := m.FreqGHz(f.Core); err == nil && f_cur > 0 {
 			r.preds[i].SetFrequencyFactor(nominal / f_cur)
 		}
@@ -401,17 +499,24 @@ func (r *Runtime) Step() error {
 	}
 	r.sampleCounter = 0
 
-	status := make([]FGStatus, len(r.preds))
+	// The status slice is compacted to active streams, in stream order —
+	// the same order the fine controller's managed task list keeps across
+	// admissions and removals.
+	fgs := r.colo.FG()
+	status := make([]FGStatus, 0, len(r.preds))
 	for i, pred := range r.preds {
+		if fgs[i].Removed() {
+			continue
+		}
 		predicted, err := pred.Predict(now)
 		if err != nil {
 			return fmt.Errorf("core: predict stream %d: %w", i, err)
 		}
-		status[i] = FGStatus{
+		status = append(status, FGStatus{
 			Predicted: predicted,
 			Deadline:  pred.ExecStart() + sim.Time(r.targets[i]),
 			Target:    r.targets[i],
-		}
+		})
 	}
 	return r.fine.Decide(now, status)
 }
@@ -473,6 +578,9 @@ func (r *Runtime) reprofileStream(stream int) {
 	// bounded transient, while feeding multi-execution progress spans into
 	// Observe would poison the penalty history.
 	for j, f := range r.colo.FG() {
+		if f.Removed() {
+			continue
+		}
 		r.preds[j].BeginExecution(now)
 		r.instrAtStart[j] = m.Counters().Task(f.Task).Instructions
 		if r.lastProgress != nil {
@@ -490,6 +598,9 @@ func (r *Runtime) RunExecutions(n int, limit sim.Time) error {
 	for {
 		minDone := -1
 		for _, f := range r.colo.FG() {
+			if f.Removed() {
+				continue
+			}
 			if minDone < 0 || f.Completed() < minDone {
 				minDone = f.Completed()
 			}

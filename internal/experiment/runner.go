@@ -2,15 +2,15 @@ package experiment
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
-	"dirigent/internal/cache"
 	"dirigent/internal/config"
 	"dirigent/internal/core"
 	"dirigent/internal/fault"
-	"dirigent/internal/machine"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/stats"
@@ -243,6 +243,13 @@ type runSpec struct {
 	fgWays    int             // static partition (0 = none)
 	bgLevel   int             // static BG frequency level (-1 = max)
 	execs     int
+	// seed overrides the mix-derived machine/scheduler seed (0 keeps
+	// Mix.Seed(), which is what every batch entry point uses).
+	seed uint64
+	// extra is an additional per-run telemetry sink teed into the run's bus
+	// (the server uses it for live subscriber streaming). Recording is
+	// strictly observational, so results are identical with or without it.
+	extra telemetry.Recorder
 	// extraWarmup extends the discarded prefix: Dirigent's coarse
 	// controller needs ~30 executions to converge its partition (§5.3);
 	// results reflect converged behaviour, so those executions are run in
@@ -397,114 +404,17 @@ func applyDeadlines(rr *RunResult, deadlines []float64) {
 	}
 }
 
-// runOne executes a mix once under a resolved spec.
+// runOne executes a mix once under a resolved spec: assemble a session,
+// drive it to completion, and fold the event stream into a RunResult.
 func (r *Runner) runOne(mix Mix, spec runSpec) (*RunResult, error) {
-	// Every run gets its own aggregator — RunResult is populated from the
-	// same event stream an external sink would see. The user's sink (if
-	// any) is teed in, labelled mix/config so parallel runs stay
-	// attributable. Built before the machine because the fault injector
-	// (wired into the machine config) emits through the same bus.
-	agg := telemetry.NewAggregator()
-	rec := telemetry.Recorder(agg)
-	if r.Recorder != nil {
-		rec = telemetry.Tee(agg, telemetry.WithRun(r.Recorder, mix.Name+"/"+string(spec.cfg.Name)))
-	}
-
-	mcfg := machine.DefaultConfig()
-	mcfg.Seed = mix.Seed()
-	var inj *fault.Injector
-	if !spec.faults.IsZero() {
-		// One injector per run, seeded from the mix so fault schedules
-		// reproduce bit-for-bit; the machine and the runtime share it.
-		inj = fault.NewInjector(spec.faults, mix.Seed(), rec)
-		mcfg.Faults = inj
-	}
-	m, err := machine.New(mcfg)
+	s, err := r.startSession(mix, spec)
 	if err != nil {
 		return nil, err
 	}
-	m.SetRecorder(rec)
-
-	opts := sched.Options{Seed: mix.Seed()}
-	partitioned := spec.fgWays > 0 || spec.cfg.RuntimePartitioning
-	var fgClass, bgClass cache.ClassID
-	if partitioned {
-		fgClass = m.LLC().DefineClass()
-		bgClass = m.LLC().DefineClass()
-		initial := spec.fgWays
-		if initial == 0 {
-			initial = m.LLC().Ways() / 2
-		}
-		if err := m.LLC().SetPartition(map[cache.ClassID]int{
-			0: 0, fgClass: initial, bgClass: m.LLC().Ways() - initial,
-		}); err != nil {
-			return nil, err
-		}
-		opts.FGClass, opts.BGClass = fgClass, bgClass
-	}
-
-	fgb, err := mix.FGBenchmarks()
-	if err != nil {
+	if err := s.RunExecutions(spec.execs+spec.extraWarmup, sim.Time(r.TimeLimit)); err != nil {
 		return nil, err
 	}
-	specs, err := mix.BGSpecs()
-	if err != nil {
-		return nil, err
-	}
-	colo, err := sched.New(m, fgb, specs, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	// Static BG frequency pinning.
-	if spec.bgLevel >= 0 {
-		for _, w := range colo.BG() {
-			if err := m.SetFreqLevel(w.Core, spec.bgLevel); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	var rt *core.Runtime
-	if spec.cfg.UseRuntime {
-		if len(spec.targets) != len(fgb) {
-			return nil, fmt.Errorf("experiment: %d targets for %d FG streams", len(spec.targets), len(fgb))
-		}
-		profiles := make([]*core.Profile, len(fgb))
-		for i, b := range fgb {
-			p, err := r.Profile(b.Name)
-			if err != nil {
-				return nil, err
-			}
-			if s := spec.faults; (s.ProfileScale > 0 && s.ProfileScale != 1) || s.ProfileRephase > 0 {
-				p = core.StaleProfile(p, s.ProfileScale, s.ProfileRephase)
-			}
-			profiles[i] = p
-		}
-		rt, err = core.NewRuntime(colo, profiles, core.RuntimeConfig{
-			Targets:             spec.targets,
-			EnablePartitioning:  spec.cfg.RuntimePartitioning,
-			Recorder:            rec,
-			Faults:              inj,
-			ReprofileAlphaDrift: spec.reprofileDrift,
-			ReprofileAfter:      spec.reprofileAfter,
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	limit := sim.Time(r.TimeLimit)
-	if rt != nil {
-		err = rt.RunExecutions(spec.execs+spec.extraWarmup, limit)
-	} else {
-		err = colo.RunExecutions(spec.execs+spec.extraWarmup, limit)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	return r.collect(mix, spec, colo, rt, agg)
+	return s.Collect()
 }
 
 func (r *Runner) collect(mix Mix, spec runSpec, colo *sched.Colocation, rt *core.Runtime, agg *telemetry.Aggregator) (*RunResult, error) {
@@ -536,9 +446,16 @@ func (r *Runner) collect(mix Mix, spec runSpec, colo *sched.Colocation, rt *core
 		if len(durs) > warm {
 			durs = durs[warm:]
 		}
-		sum, err := stats.Summarize(durs)
-		if err != nil {
-			return nil, err
+		// A stream removed mid-run (served tenants admit and evict streams
+		// live) may have nothing after warmup; report an empty summary
+		// instead of failing the whole collection.
+		sum := stats.Summary{}
+		if len(durs) > 0 || !f.Removed() {
+			var err error
+			sum, err = stats.Summarize(durs)
+			if err != nil {
+				return nil, err
+			}
 		}
 		fgSample := m.Counters().Task(f.Task)
 		rr.Streams = append(rr.Streams, StreamResult{
@@ -610,7 +527,17 @@ func (r *Runner) RunMixes(mixes []Mix) ([]*MixResult, error) {
 	return out, nil
 }
 
+// maxParallel is the RunMixes fan-out width: the DIRIGENT_MAX_PARALLEL
+// environment variable when set to a positive integer, otherwise the host
+// CPU count. Results are deterministic regardless of the width — the knob
+// only trades wall-clock time against load (e.g. capping a shared CI box,
+// or widening past GOMAXPROCS when runs block on nothing).
 func maxParallel() int {
+	if s := os.Getenv("DIRIGENT_MAX_PARALLEL"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		return 1

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"encoding/json"
+	"runtime"
 	"testing"
 	"time"
 
@@ -263,5 +264,59 @@ func TestRunConfigsSubset(t *testing.T) {
 
 	if _, err := r.RunConfigs(mix, config.Name("nonsense")); err == nil {
 		t.Error("unknown config name must be rejected")
+	}
+}
+
+// TestRunConfigsStaticBothFallback: StaticBoth's static partition normally
+// reuses Dirigent's converged way count; when Dirigent is not part of the
+// requested subset it must fall back to the default 10 ways rather than
+// running Dirigent implicitly.
+func TestRunConfigsStaticBothFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	r := smallRunner()
+	r.Executions = 8
+	r.Warmup = 2
+	r.CalibExecutions = 6
+	mix := Mix{Name: "sb fallback", FG: []string{"bodytrack"}, BG: repeat("pca", 5)}
+
+	res, err := r.RunConfigs(mix, config.StaticBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := res.ByConfig[config.StaticBoth]
+	if sb == nil {
+		t.Fatal("missing StaticBoth result")
+	}
+	if sb.FGWays != 10 {
+		t.Errorf("StaticBoth without Dirigent ran with %d FG ways, want the 10-way fallback", sb.FGWays)
+	}
+	if _, ok := res.ByConfig[config.Dirigent]; ok {
+		t.Error("Dirigent ran although it was not requested")
+	}
+	// Baseline is always present — it defines the deadlines — even though
+	// only StaticBoth was requested.
+	if res.ByConfig[config.Baseline] == nil {
+		t.Error("Baseline missing from result despite not being requested")
+	}
+	if sb.StaticBGLevel < 0 {
+		t.Errorf("StaticBoth BG level = %d, want a calibrated static level", sb.StaticBGLevel)
+	}
+}
+
+// TestMaxParallelEnv: DIRIGENT_MAX_PARALLEL overrides the mix-sweep worker
+// count; invalid values fall back to GOMAXPROCS.
+func TestMaxParallelEnv(t *testing.T) {
+	t.Setenv("DIRIGENT_MAX_PARALLEL", "3")
+	if got := maxParallel(); got != 3 {
+		t.Errorf("maxParallel with env 3 = %d", got)
+	}
+	def := runtime.GOMAXPROCS(0)
+	for _, bad := range []string{"", "0", "-2", "many"} {
+		t.Setenv("DIRIGENT_MAX_PARALLEL", bad)
+		if got := maxParallel(); got != def {
+			t.Errorf("maxParallel with env %q = %d, want GOMAXPROCS %d", bad, got, def)
+		}
 	}
 }

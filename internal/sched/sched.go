@@ -85,7 +85,14 @@ type FGStream struct {
 	execs     []Execution
 	lastStart sim.Time
 	lastPerf  perfSnapshot
+	removed   bool
 }
+
+// Removed reports whether the stream was evicted mid-run (RemoveFG). A
+// removed stream keeps its slot — stream indices stay stable for telemetry
+// and result collection — but its task is dead and it completes nothing
+// further.
+func (f *FGStream) Removed() bool { return f.removed }
 
 type perfSnapshot struct {
 	instructions float64
@@ -240,6 +247,142 @@ func (c *Colocation) FGClass() cache.ClassID { return c.fgClass }
 // BGClass returns the LLC partition class of the BG tasks.
 func (c *Colocation) BGClass() cache.ClassID { return c.bgClass }
 
+// freeCore returns the lowest-numbered core with no live colocation task.
+func (c *Colocation) freeCore() (int, error) {
+	used := make([]bool, c.m.NumCores())
+	for _, f := range c.fgs {
+		if !f.removed {
+			used[f.Core] = true
+		}
+	}
+	for _, w := range c.bgs {
+		used[w.Core] = true
+	}
+	for core, u := range used {
+		if !u {
+			return core, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: no free core (all %d occupied)", c.m.NumCores())
+}
+
+// AdmitFG launches a new foreground stream on a free core mid-run and
+// returns its stream index. The stream joins the colocation's FG partition
+// class and starts its first execution at the current simulated time.
+// Admission is an online-arrival event — it changes subsequent machine
+// state, so admitted runs are only reproducible against the same admission
+// schedule.
+func (c *Colocation) AdmitFG(b *workload.Benchmark) (int, error) {
+	if b == nil {
+		return 0, fmt.Errorf("sched: nil FG benchmark")
+	}
+	if b.Kind != workload.Foreground {
+		return 0, fmt.Errorf("sched: %s is not a foreground benchmark", b.Name)
+	}
+	core, err := c.freeCore()
+	if err != nil {
+		return 0, err
+	}
+	prog, err := workload.NewProgram(b)
+	if err != nil {
+		return 0, err
+	}
+	id, err := c.m.Launch(b.Name, prog, core, c.fgClass)
+	if err != nil {
+		return 0, err
+	}
+	sample := c.m.Counters().Task(id)
+	c.fgs = append(c.fgs, &FGStream{
+		Bench: b, Task: id, Core: core,
+		lastStart: c.m.Now(),
+		lastPerf:  perfSnapshot{instructions: sample.Instructions, llcMisses: sample.LLCMisses},
+	})
+	return len(c.fgs) - 1, nil
+}
+
+// RemoveFG evicts a foreground stream mid-run: its task is killed and the
+// stream marked removed. Completed-execution history and counters survive
+// for result collection; the freed core becomes available for admission.
+func (c *Colocation) RemoveFG(stream int) error {
+	if stream < 0 || stream >= len(c.fgs) {
+		return fmt.Errorf("sched: FG stream %d out of range", stream)
+	}
+	f := c.fgs[stream]
+	if f.removed {
+		return fmt.Errorf("sched: FG stream %d already removed", stream)
+	}
+	active := 0
+	for _, s := range c.fgs {
+		if !s.removed {
+			active++
+		}
+	}
+	if active == 1 {
+		return fmt.Errorf("sched: cannot remove the last FG stream")
+	}
+	if err := c.m.Kill(f.Task); err != nil {
+		return err
+	}
+	f.removed = true
+	return nil
+}
+
+// AdmitBG launches a new background worker on a free core mid-run and
+// returns it. Plain workers start at a random phase offset, exactly like
+// construction-time workers; rotate pairs get their own seeded rotator.
+func (c *Colocation) AdmitBG(spec BGSpec) (*BGWorker, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	core, err := c.freeCore()
+	if err != nil {
+		return nil, err
+	}
+	w := &BGWorker{Spec: spec, Core: core}
+	var prog *workload.Program
+	if spec.IsRotate() {
+		rot, err := workload.NewRotator(spec.Pair[0], spec.Pair[1], c.rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		w.rotator = rot
+		prog = rot.Program()
+	} else {
+		if spec.Bench.Kind != workload.Background {
+			return nil, fmt.Errorf("sched: %s is not a background benchmark", spec.Bench.Name)
+		}
+		prog, err = workload.NewProgram(spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		prog.SetOffset(c.rng.Float64() * spec.Bench.TotalInstructions())
+	}
+	id, err := c.m.Launch(spec.Name(), prog, core, c.bgClass)
+	if err != nil {
+		return nil, err
+	}
+	w.Task = id
+	c.bgs = append(c.bgs, w)
+	return w, nil
+}
+
+// RemoveBG kills the background worker running as the given task and drops
+// it from the colocation. Its retired instructions leave the BG-throughput
+// accounting with it.
+func (c *Colocation) RemoveBG(task int) error {
+	for j, w := range c.bgs {
+		if w.Task != task {
+			continue
+		}
+		if err := c.m.Kill(task); err != nil {
+			return err
+		}
+		c.bgs = append(c.bgs[:j], c.bgs[j+1:]...)
+		return nil
+	}
+	return fmt.Errorf("sched: no BG worker runs task %d", task)
+}
+
 // RuntimeCore returns the core the Dirigent runtime should be pinned to: a
 // core running a BG task (§4.2 pins the runtime thread to a BG core). With
 // no BG workers it falls back to the last core.
@@ -319,9 +462,12 @@ func (c *Colocation) Run(until sim.Time) {
 // mis-configured experiment).
 func (c *Colocation) RunExecutions(n int, limit sim.Time) error {
 	for {
-		minDone := c.fgs[0].Completed()
-		for _, f := range c.fgs[1:] {
-			if f.Completed() < minDone {
+		minDone := -1
+		for _, f := range c.fgs {
+			if f.removed {
+				continue
+			}
+			if minDone < 0 || f.Completed() < minDone {
 				minDone = f.Completed()
 			}
 		}

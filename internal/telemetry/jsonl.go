@@ -102,6 +102,12 @@ func (j *JSONL) Record(ev Event) {
 	j.events++
 }
 
+// AppendJSON appends ev encoded exactly as one JSONL trace line (including
+// the trailing newline) and returns the extended buffer. It is the encoding
+// JSONL writes, exposed for sinks that frame events differently — e.g. the
+// server's SSE subscribers, which wrap each line in an event-stream frame.
+func AppendJSON(b []byte, ev Event) []byte { return appendEvent(b, ev) }
+
 // appendEvent encodes ev as one JSON line. Common fields first (kind, time,
 // run label), then the kind-specific payload.
 func appendEvent(b []byte, ev Event) []byte {

@@ -2,7 +2,9 @@
 # Tier-1 verification: everything a change must pass before merging.
 #
 #   scripts/ci.sh          # full: gofmt + vet + build + tests + race detector
+#                          # + package-comment check for internal/*
 #                          # + the shrunk fault-injection (resilience) smoke
+#                          # + the dirigent-serve API smoke (-selfcheck)
 #   scripts/ci.sh -short   # same legs, but skip the long end-to-end tests
 #   scripts/ci.sh -bench   # additionally run the perf/QoS regression gate
 #                          # (dirigent-ci -check against the latest BENCH_<n>.json)
@@ -46,8 +48,26 @@ go test $short ./...
 echo "== go test -race ./internal/... $short"
 go test -race $short ./internal/...
 
+echo "== package comments for internal/*"
+missing=""
+for d in internal/*/; do
+	# Every internal package must carry a doc comment in the conventional
+	# "// Package <name> ..." form in at least one non-test file.
+	name=$(basename "$d")
+	if ! grep -ls "^// Package $name " "$d"*.go >/dev/null 2>&1; then
+		missing="$missing ./${d%/}"
+	fi
+done
+if [ -n "$missing" ]; then
+	echo "ci: internal packages missing a package comment:$missing" >&2
+	exit 1
+fi
+
 echo "== dirigent-bench -resilience -short (fault-injection smoke)"
 go run ./cmd/dirigent-bench -resilience -short >/dev/null
+
+echo "== dirigent-serve -selfcheck (server API smoke)"
+go run ./cmd/dirigent-serve -selfcheck >/dev/null
 
 if $bench; then
 	echo "== dirigent-ci -check"
