@@ -36,6 +36,7 @@ func main() {
 		fig15    = flag.Bool("fig15", false, "Fig. 15: FG/BG tradeoff sweep (raytrace+bwaves)")
 		headline = flag.Bool("headline", false, "headline numbers over all single-FG mixes")
 		resil    = flag.Bool("resilience", false, "resilience sweep: QoS under injected faults (ferret+rs); not part of -all")
+		policies = flag.Bool("policies", false, "policy sweep: QoS vs BG throughput per QoS policy (dirigent, rtgang, cordlike); not part of -all")
 
 		executions = flag.Int("executions", 60, "FG executions per run")
 		predExecs  = flag.Int("pred-executions", 50, "executions per prediction probe")
@@ -48,7 +49,7 @@ func main() {
 		*fig9a, *fig9b, *fig9c, *fig11, *fig12, *fig15, *headline = true, true, true, true, true, true, true
 	}
 	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9a || *fig9b || *fig9c ||
-		*fig11 || *fig12 || *fig15 || *headline || *resil) {
+		*fig11 || *fig12 || *fig15 || *headline || *resil || *policies) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -200,6 +201,22 @@ func main() {
 		res, err := r.ResilienceSweep(mix, opts)
 		check(err)
 		fmt.Println(experiment.RenderResilience(res))
+	}
+	if *policies {
+		mixes := []experiment.Mix{
+			{Name: "ferret rs", FG: []string{"ferret"}, BG: five("rs")},
+			{Name: "bodytrack pca", FG: []string{"bodytrack"}, BG: five("pca")},
+		}
+		if *short {
+			// CI smoke: one mix, shorter runs — every policy still goes
+			// through the full engine end to end.
+			mixes = mixes[:1]
+			r.Executions = min(r.Executions, 20)
+			r.ConvergenceWarmup = min(r.ConvergenceWarmup, 10)
+		}
+		res, err := r.PolicySweep(mixes, nil)
+		check(err)
+		fmt.Println(experiment.RenderPolicySweep("Policy sweep: QoS policies under the full runtime", res))
 	}
 
 	check(flushTrace())

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -176,7 +177,105 @@ func runSelfcheck(srv *server.Server) error {
 	if dresp.StatusCode != http.StatusOK {
 		return fmt.Errorf("delete tenant: status %d", dresp.StatusCode)
 	}
+
+	if err := checkPolicyTenant(base); err != nil {
+		return fmt.Errorf("policy tenant: %w", err)
+	}
 	return getJSON(base+"/v1/healthz", &struct{}{})
+}
+
+// checkPolicyTenant exercises the policy engine through the API: a bogus
+// policy name must 400 with the valid values listed, and a tenant under a
+// non-default policy must run to completion reporting that policy in its
+// stats.
+func checkPolicyTenant(base string) error {
+	bad := server.CreateTenantRequest{
+		Mix:       server.MixSpec{Name: "bad policy", FG: []string{"ferret"}, BG: []string{"pca"}},
+		Config:    "DirigentFreq",
+		Policy:    "nope",
+		TargetsNS: []int64{int64(time.Second)},
+	}
+	body, _ := json.Marshal(bad)
+	resp, err := http.Post(base+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&apiErr)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("bogus policy: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(apiErr.Error, "rtgang") {
+		return fmt.Errorf("bogus policy error %q should list valid policies", apiErr.Error)
+	}
+
+	req := server.CreateTenantRequest{
+		Name:       "selfcheck-rtgang",
+		Mix:        server.MixSpec{Name: "selfcheck ferret pca rtgang", FG: []string{"ferret"}, BG: []string{"pca", "pca"}},
+		Config:     "DirigentFreq",
+		Policy:     "rtgang",
+		TargetsNS:  []int64{int64(2 * time.Second)},
+		Executions: 8,
+	}
+	body, _ = json.Marshal(req)
+	resp, err = http.Post(base+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		return fmt.Errorf("create: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Policy string `json:"policy"`
+		}
+		if err := getJSON(base+"/v1/tenants/"+created.ID, &st); err != nil {
+			return err
+		}
+		if st.Policy != "rtgang" {
+			return fmt.Errorf("stats policy %q, want rtgang", st.Policy)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" {
+			return fmt.Errorf("tenant failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			return errors.New("tenant did not finish in time")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	del, err := http.NewRequest(http.MethodDelete, base+"/v1/tenants/"+created.ID, nil)
+	if err != nil {
+		return err
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		return err
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("delete: status %d", dresp.StatusCode)
+	}
+	return nil
 }
 
 func getJSON(url string, out any) error {

@@ -6,6 +6,11 @@
 //
 //	dirigent-sim -fg ferret -bg rs,rs,rs,rs,rs -config Dirigent -executions 60
 //	dirigent-sim -fg streamcluster,streamcluster -bg lbm+namd,lbm+namd,lbm+namd,lbm+namd -config DirigentFreq
+//	dirigent-sim -fg ferret -bg rs,rs,rs,rs,rs -policies all
+//
+// -policies switches the comparison axis from the five system
+// configurations to the registered QoS policies (dirigent, rtgang,
+// cordlike), each run under the full runtime.
 //
 // The deadline defaults to the paper's rule (µ+0.3σ of a Baseline pass run
 // first); pass -target to override with an explicit per-execution latency
@@ -28,6 +33,7 @@ func main() {
 	fg := flag.String("fg", "ferret", "comma-separated FG benchmarks")
 	bg := flag.String("bg", "rs,rs,rs,rs,rs", "comma-separated BG specs (a single name or a+b rotate pair)")
 	cfgName := flag.String("config", "Dirigent", "configuration: Baseline, StaticFreq, StaticBoth, DirigentFreq, Dirigent")
+	pols := flag.String("policies", "", "compare QoS policies instead of configurations: comma-separated registry names, or \"all\"")
 	executions := flag.Int("executions", 60, "FG executions per run")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace of every run to this file")
 	traceQuanta := flag.Bool("trace-quanta", false, "include per-quantum machine events in the trace (large)")
@@ -58,6 +64,35 @@ func main() {
 		r.Recorder = sink
 		closeTrace = done
 	}
+	if *pols != "" {
+		names := splitList(*pols)
+		if len(names) == 1 && names[0] == "all" {
+			names = nil // PolicySweep defaults to every registered policy
+		}
+		res, err := r.PolicySweep([]experiment.Mix{mix}, names)
+		if err != nil {
+			fatal(err)
+		}
+		if closeTrace != nil {
+			closeTrace()
+		}
+		pmr := res.Mixes[0]
+		fmt.Printf("mix %s, deadline(s): %v\n\n", mix.Name, pmr.Deadlines)
+		for _, p := range res.Policies {
+			run := pmr.ByPolicy[p]
+			fmt.Printf("  %-13s FG success %.3f  rel BG throughput %.3f",
+				p, run.MeanSuccessRate(), pmr.RelBGThroughput(p))
+			if run.FGWays > 0 {
+				fmt.Printf("  FG ways %d", run.FGWays)
+			}
+			fmt.Println()
+			for _, s := range run.Streams {
+				fmt.Printf("    %-14s %s  success %.3f\n", s.Bench, s.Summary, s.SuccessRate)
+			}
+		}
+		return
+	}
+
 	res, err := r.RunMix(mix)
 	if err != nil {
 		fatal(err)

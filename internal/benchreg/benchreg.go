@@ -54,7 +54,10 @@ func SelfTest(logf func(format string, args ...any)) error {
 
 	logf("selftest: verifying an injected machine.Step slowdown fails")
 	slow := o
-	slow.StepHook = busyWait(4 * time.Microsecond) // ~3x a default Step
+	// Far above the +30% fail band even when the baseline Step itself is
+	// inflated — by the race detector, or by the rest of the test suite
+	// running in parallel — so the injected regression is always caught.
+	slow.StepHook = busyWait(12 * time.Microsecond)
 	slowed, err := Run(slow)
 	if err != nil {
 		return fmt.Errorf("benchreg: selftest slow run: %w", err)

@@ -9,6 +9,7 @@ import (
 	"dirigent/internal/config"
 	"dirigent/internal/experiment"
 	"dirigent/internal/machine"
+	"dirigent/internal/policy"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
@@ -192,6 +193,34 @@ func Run(o Options) (*Baseline, error) {
 				[]float64{float64(dir.FGWays)}),
 		)
 	}
+
+	// --- Rival policy QoS (Kind Exact) -----------------------------------
+	// The competing controllers behind the policy engine (RT-Gang and the
+	// CORD-style static decomposition), pinned on the detailed mix. They run
+	// in their own runner so the dirigent metrics above stay byte-identical
+	// to baselines recorded before the policy engine existed.
+	sr := experiment.NewRunner()
+	sr.Executions = o.Executions
+	sr.Warmup = 2
+	sr.ConvergenceWarmup = 10
+	pmix := qosMixes(true)[0]
+	sweep, err := sr.PolicySweep([]experiment.Mix{pmix},
+		[]string{policy.NameRTGang, policy.NameCORDLike})
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: policy probe %s: %w", pmix.Name, err)
+	}
+	pslug := metricSlug(pmix.Name)
+	pmr := sweep.Mixes[0]
+	b.Metrics = append(b.Metrics,
+		newMetric("policy_rtgang_qos_"+pslug, "fraction", StatMedian, Exact, true,
+			[]float64{pmr.ByPolicy[policy.NameRTGang].MeanSuccessRate()}),
+		newMetric("policy_rtgang_bg_throughput_"+pslug, "ratio", StatMedian, Exact, true,
+			[]float64{pmr.RelBGThroughput(policy.NameRTGang)}),
+		newMetric("policy_cordlike_qos_"+pslug, "fraction", StatMedian, Exact, true,
+			[]float64{pmr.ByPolicy[policy.NameCORDLike].MeanSuccessRate()}),
+		newMetric("policy_cordlike_bg_throughput_"+pslug, "ratio", StatMedian, Exact, true,
+			[]float64{pmr.RelBGThroughput(policy.NameCORDLike)}),
+	)
 
 	// --- Resilience (Kind Exact) -----------------------------------------
 	// A shrunk fault-injection sweep (single moderate intensity) over the

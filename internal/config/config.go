@@ -49,6 +49,10 @@ type Config struct {
 	// CalibratedStatic requests offline calibration of a static partition
 	// and static BG frequency (StaticBoth).
 	CalibratedStatic bool
+	// Policy names the QoS policy driving the runtime (internal/policy
+	// registry name); empty means the default Dirigent policy. Only
+	// meaningful with UseRuntime.
+	Policy string
 	// Description is a one-line summary for reports.
 	Description string
 }

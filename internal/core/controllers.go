@@ -1,0 +1,58 @@
+package core
+
+import (
+	"dirigent/internal/cache"
+	"dirigent/internal/machine"
+	"dirigent/internal/policy"
+)
+
+// The fine and coarse controllers were extracted into internal/policy when
+// the runtime grew its pluggable policy engine — they are the Dirigent
+// policy's two halves. These aliases keep the original core-level names
+// working for the facade, the experiment harness, and existing callers;
+// new code should import internal/policy directly.
+
+// FineController implements the fine time scale policy (§4.3).
+type FineController = policy.FineController
+
+// FineConfig configures the fine time scale controller.
+type FineConfig = policy.FineConfig
+
+// FineWindow is the fine controller's decision window (heuristic-3 input).
+type FineWindow = policy.FineWindow
+
+// FGStatus is the fine controller's per-stream input at a decision point.
+type FGStatus = policy.FGStatus
+
+// CoarseController implements the coarse time scale QoS control (§4.3).
+type CoarseController = policy.CoarseController
+
+// CoarseConfig configures the coarse time scale controller.
+type CoarseConfig = policy.CoarseConfig
+
+// Re-exported §4.3 controller defaults.
+const (
+	DefaultAheadMargin      = policy.DefaultAheadMargin
+	DefaultBehindMargin     = policy.DefaultBehindMargin
+	DefaultPauseMargin      = policy.DefaultPauseMargin
+	DefaultDecisionSegments = policy.DefaultDecisionSegments
+	DefaultSpeedupHoldoff   = policy.DefaultSpeedupHoldoff
+	DefaultCorrThreshold    = policy.DefaultCorrThreshold
+	DefaultHistory          = policy.DefaultHistory
+	DefaultAdjustEvery      = policy.DefaultAdjustEvery
+	DefaultSuppressedFrac   = policy.DefaultSuppressedFrac
+)
+
+// DefaultGrades returns the five equi-spaced DVFS grades (§5.1).
+func DefaultGrades() []int { return policy.DefaultGrades() }
+
+// NewFineController validates inputs and builds the fine controller.
+func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []int, cfg FineConfig) (*FineController, error) {
+	return policy.NewFineController(m, fgTasks, fgCores, bgTasks, bgCores, cfg)
+}
+
+// NewCoarseController builds the coarse controller and applies the initial
+// partition.
+func NewCoarseController(llc *cache.LLC, fgClass, bgClass cache.ClassID, cfg CoarseConfig) (*CoarseController, error) {
+	return policy.NewCoarseController(llc, fgClass, bgClass, cfg)
+}

@@ -37,6 +37,15 @@ func buildFaultyColo(t *testing.T, fg []string, bg string, plan fault.Plan, seed
 	return colo, inj
 }
 
+// statusWithSlack builds an FGStatus with the given normalized slack
+// (positive = ahead) against a 1 s target.
+func statusWithSlack(slack float64) FGStatus {
+	target := time.Second
+	deadline := sim.Time(2 * time.Second)
+	predicted := deadline - sim.Time(float64(target)*slack)
+	return FGStatus{Predicted: predicted, Deadline: deadline, Target: target}
+}
+
 func TestFineControllerSurfacesDVFSFaults(t *testing.T) {
 	colo, inj := buildFaultyColo(t, []string{"ferret"}, "bwaves", fault.Plan{DVFSFail: 1}, 41)
 	m := colo.Machine()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dirigent/internal/fault"
+	"dirigent/internal/policy"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
@@ -33,12 +34,21 @@ type RuntimeConfig struct {
 	// Targets are the relative latency targets per FG stream; must match
 	// the colocation's FG count.
 	Targets []time.Duration
-	// Fine configures the fine time scale controller.
+	// Policy optionally supplies the QoS policy the runtime drives. Nil
+	// builds the default Dirigent policy from Fine, EnablePartitioning,
+	// and Coarse below; the policy's capabilities are validated against
+	// the colocation (LLC-partitioning policies need distinct FG/BG
+	// classes).
+	Policy policy.Policy
+	// Fine configures the fine time scale controller (default Dirigent
+	// policy only; ignored when Policy is set).
 	Fine FineConfig
-	// EnablePartitioning turns on the coarse time scale controller. The
-	// colocation must then use distinct FG and BG partition classes.
+	// EnablePartitioning turns on the coarse time scale controller
+	// (default Dirigent policy only). The colocation must then use
+	// distinct FG and BG partition classes.
 	EnablePartitioning bool
-	// Coarse configures the coarse controller when enabled.
+	// Coarse configures the coarse controller when enabled (default
+	// Dirigent policy only).
 	Coarse CoarseConfig
 	// Recorder is the telemetry bus for the whole assembled system: the
 	// runtime injects it into both controllers and the per-stream
@@ -90,8 +100,7 @@ type Runtime struct {
 	preds   []*Predictor
 	targets []time.Duration
 
-	fine   *FineController
-	coarse *CoarseController
+	pol policy.Policy
 
 	ticker        *sim.Ticker
 	sampleCounter int
@@ -146,17 +155,24 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 			cfg.SamplePeriod, m.Config().Quantum)
 	}
 	// One bus for every layer: machine (unless the caller attached its
-	// own), controllers, and predictors all emit through cfg.Recorder.
-	if cfg.Recorder != nil {
-		if telemetry.IsNop(m.Recorder()) {
-			m.SetRecorder(cfg.Recorder)
-		}
-		if cfg.Fine.Recorder == nil {
-			cfg.Fine.Recorder = cfg.Recorder
-		}
-		if cfg.Coarse.Recorder == nil {
-			cfg.Coarse.Recorder = cfg.Recorder
-		}
+	// own), the policy's controllers, and the predictors all emit through
+	// cfg.Recorder. The policy's share of the bus is labelled with the
+	// policy name so its decision/action events stay distinguishable when
+	// several policies feed one stream.
+	if cfg.Recorder != nil && telemetry.IsNop(m.Recorder()) {
+		m.SetRecorder(cfg.Recorder)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.NewDirigent(policy.Options{
+			Partitioning: cfg.EnablePartitioning,
+			Fine:         cfg.Fine,
+			Coarse:       cfg.Coarse,
+		})
+	}
+	caps := pol.Capabilities()
+	if caps.LLCWays && colo.FGClass() == colo.BGClass() {
+		return nil, fmt.Errorf("core: partitioning enabled but FG and BG share class %d", colo.FGClass())
 	}
 
 	r := &Runtime{
@@ -174,7 +190,9 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 		r.needReprofile = make([]bool, len(fgs))
 		r.lastDrift = make([]float64, len(fgs))
 	}
-	var fgTasks, fgCores, bgTasks, bgCores []int
+	var fgTasks, fgCores, fgStreams []int
+	var bgTasks, bgCores []int
+	streamProfiles := make([]policy.StreamProfile, len(fgs))
 	for i, f := range fgs {
 		if profiles[i] == nil {
 			return nil, fmt.Errorf("core: nil profile for stream %d", i)
@@ -191,30 +209,39 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 		pred.BeginExecution(m.Now())
 		r.preds = append(r.preds, pred)
 		r.instrAtStart[i] = m.Counters().Task(f.Task).Instructions
+		streamProfiles[i] = policy.StreamProfile{
+			Benchmark:          profiles[i].Benchmark,
+			StandaloneDuration: profiles[i].TotalDuration(),
+		}
 		fgTasks = append(fgTasks, f.Task)
 		fgCores = append(fgCores, f.Core)
+		fgStreams = append(fgStreams, i)
 	}
 	for _, w := range colo.BG() {
 		bgTasks = append(bgTasks, w.Task)
 		bgCores = append(bgCores, w.Core)
 	}
 
-	fine, err := NewFineController(m, fgTasks, fgCores, bgTasks, bgCores, cfg.Fine)
-	if err != nil {
+	binding := policy.Binding{
+		Machine:   m,
+		FGTasks:   fgTasks,
+		FGCores:   fgCores,
+		FGStreams: fgStreams,
+		BGTasks:   bgTasks,
+		BGCores:   bgCores,
+		Targets:   r.targets,
+		Profiles:  streamProfiles,
+		Recorder:  telemetry.WithPolicy(telemetry.OrNop(cfg.Recorder), pol.Name()),
+	}
+	if caps.LLCWays {
+		binding.LLC = m.LLC()
+		binding.FGClass = colo.FGClass()
+		binding.BGClass = colo.BGClass()
+	}
+	if err := pol.Init(binding); err != nil {
 		return nil, err
 	}
-	r.fine = fine
-
-	if cfg.EnablePartitioning {
-		if colo.FGClass() == colo.BGClass() {
-			return nil, fmt.Errorf("core: partitioning enabled but FG and BG share class %d", colo.FGClass())
-		}
-		coarse, err := NewCoarseController(m.LLC(), colo.FGClass(), colo.BGClass(), cfg.Coarse)
-		if err != nil {
-			return nil, err
-		}
-		r.coarse = coarse
-	}
+	r.pol = pol
 
 	r.ticker.Reset(m.Now())
 	colo.OnComplete(r.onComplete)
@@ -236,11 +263,32 @@ func (r *Runtime) Colocation() *sched.Colocation { return r.colo }
 // Predictors returns the per-stream predictors (for evaluation probes).
 func (r *Runtime) Predictors() []*Predictor { return r.preds }
 
-// Fine returns the fine controller (telemetry access).
-func (r *Runtime) Fine() *FineController { return r.fine }
+// Policy returns the QoS policy driving the runtime.
+func (r *Runtime) Policy() policy.Policy { return r.pol }
 
-// Coarse returns the coarse controller, or nil when partitioning is off.
-func (r *Runtime) Coarse() *CoarseController { return r.coarse }
+// PolicyName returns the driving policy's registered name.
+func (r *Runtime) PolicyName() string { return r.pol.Name() }
+
+// Capabilities returns the driving policy's declared actuator set.
+func (r *Runtime) Capabilities() policy.Capabilities { return r.pol.Capabilities() }
+
+// Fine returns the Dirigent policy's fine controller (telemetry access),
+// or nil when a different policy drives the runtime.
+func (r *Runtime) Fine() *FineController {
+	if d, ok := r.pol.(*policy.Dirigent); ok {
+		return d.Fine()
+	}
+	return nil
+}
+
+// Coarse returns the Dirigent policy's coarse controller, or nil when
+// partitioning is off or a different policy drives the runtime.
+func (r *Runtime) Coarse() *CoarseController {
+	if d, ok := r.pol.(*policy.Dirigent); ok {
+		return d.Coarse()
+	}
+	return nil
+}
 
 // Targets returns the per-stream relative latency targets.
 func (r *Runtime) Targets() []time.Duration {
@@ -286,7 +334,7 @@ func (r *Runtime) AdmitStream(b *workload.Benchmark, profile *Profile, target ti
 	}
 	f := r.colo.FG()[stream]
 	m := r.colo.Machine()
-	if err := r.fine.AddFG(f.Task, f.Core, stream); err != nil {
+	if err := r.pol.AddFG(f.Task, f.Core, stream); err != nil {
 		return 0, err
 	}
 	pred.SetRecorder(r.cfg.Recorder, stream)
@@ -321,7 +369,7 @@ func (r *Runtime) RemoveStream(stream int) error {
 	if err := r.colo.RemoveFG(stream); err != nil {
 		return err
 	}
-	if err := r.fine.RemoveFGByTask(task); err != nil {
+	if err := r.pol.RemoveFG(task); err != nil {
 		return err
 	}
 	if r.needReprofile != nil {
@@ -337,7 +385,7 @@ func (r *Runtime) AdmitBG(spec sched.BGSpec) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := r.fine.AddBG(w.Task, w.Core); err != nil {
+	if err := r.pol.AddBG(w.Task, w.Core); err != nil {
 		return 0, err
 	}
 	return w.Task, nil
@@ -345,7 +393,7 @@ func (r *Runtime) AdmitBG(spec sched.BGSpec) (int, error) {
 
 // RemoveBG evicts a background worker mid-run.
 func (r *Runtime) RemoveBG(task int) error {
-	if err := r.fine.RemoveBG(task); err != nil {
+	if err := r.pol.RemoveBG(task); err != nil {
 		return err
 	}
 	return r.colo.RemoveBG(task)
@@ -380,16 +428,12 @@ func (r *Runtime) onComplete(stream int, e sched.Execution) {
 		}
 		finished = true
 	}
-	if r.coarse != nil {
-		missed := e.Duration > r.targets[stream]
-		r.coarse.RecordExecution(e.Duration.Seconds(), e.LLCMisses, missed)
-		if r.coarse.Due() {
-			if _, err := r.coarse.Adjust(e.End, r.fine.Window()); err != nil {
-				panic(fmt.Sprintf("core: coarse adjust: %v", err))
-			}
-			r.fine.ResetWindow()
-		}
-	}
+	r.pol.OnExecution(stream, policy.ExecutionSample{
+		End:       e.End,
+		Duration:  e.Duration,
+		LLCMisses: e.LLCMisses,
+		Missed:    e.Duration > r.targets[stream],
+	})
 	// Chronic profile mismatch: a healthy profile keeps the per-execution
 	// rate-factor average near 1 (contention shows up as transient spikes
 	// the controller counters, not a sustained offset). A drift persisting
@@ -518,7 +562,7 @@ func (r *Runtime) Step() error {
 			Target:    r.targets[i],
 		})
 	}
-	return r.fine.Decide(now, status)
+	return r.pol.Tick(now, status)
 }
 
 // Run advances until the given simulated time.

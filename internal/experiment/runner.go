@@ -118,6 +118,9 @@ type StreamResult struct {
 type RunResult struct {
 	Mix    Mix
 	Config config.Name
+	// Policy is the registered name of the QoS policy that drove the run
+	// ("" for non-runtime configurations).
+	Policy string
 	// Streams are per-FG-stream results.
 	Streams []StreamResult
 	// BGInstrRate is BG instructions per simulated second — the throughput
@@ -302,12 +305,7 @@ func (r *Runner) RunConfigs(mix Mix, names ...config.Name) (*MixResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", mix.Name, err)
 	}
-	deadlines := make([]float64, len(base.Streams))
-	targets := make([]time.Duration, len(base.Streams))
-	for i, s := range base.Streams {
-		deadlines[i] = s.Summary.Mean + DeadlineSigma*s.Summary.Std
-		targets[i] = time.Duration(deadlines[i] * float64(time.Second))
-	}
+	deadlines, targets := deadlinesFromBaseline(base)
 	applyDeadlines(base, deadlines)
 	res.Deadlines = deadlines
 	res.ByConfig[config.Baseline] = base
@@ -388,6 +386,19 @@ func (r *Runner) calibrateStaticBGLevel(mix Mix, fgWays int, deadlines []float64
 	return grades[0], nil
 }
 
+// deadlinesFromBaseline derives the paper's per-stream deadlines
+// (µ + 0.3·σ over the Baseline pass, §5.4) and the equivalent runtime
+// targets.
+func deadlinesFromBaseline(base *RunResult) ([]float64, []time.Duration) {
+	deadlines := make([]float64, len(base.Streams))
+	targets := make([]time.Duration, len(base.Streams))
+	for i, s := range base.Streams {
+		deadlines[i] = s.Summary.Mean + DeadlineSigma*s.Summary.Std
+		targets[i] = time.Duration(deadlines[i] * float64(time.Second))
+	}
+	return deadlines, targets
+}
+
 func applyDeadlines(rr *RunResult, deadlines []float64) {
 	for i := range rr.Streams {
 		s := &rr.Streams[i]
@@ -427,8 +438,12 @@ func (r *Runner) collect(mix Mix, spec runSpec, colo *sched.Colocation, rt *core
 		FGWays:        spec.fgWays,
 	}
 	if rt != nil {
+		rr.Policy = rt.PolicyName()
 		rr.Fine = agg.Fine()
-		if rt.Coarse() != nil {
+		// Partition reporting keys off the policy's declared capability, not
+		// the Dirigent-specific coarse controller: any LLC-way policy (e.g.
+		// cordlike's static split) reports its partition the same way.
+		if rt.Capabilities().LLCWays {
 			rr.FGWays = agg.FGWays()
 			rr.ConvergedAtExecution = agg.ConvergedAtExecution()
 		}

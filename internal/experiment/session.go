@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"dirigent/internal/cache"
@@ -9,6 +10,7 @@ import (
 	"dirigent/internal/core"
 	"dirigent/internal/fault"
 	"dirigent/internal/machine"
+	"dirigent/internal/policy"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
@@ -23,6 +25,11 @@ import (
 type RunParams struct {
 	// Config names the system configuration to run under.
 	Config config.Name
+	// Policy names the QoS policy driving the runtime (internal/policy
+	// registry name); empty keeps the configuration's policy, which is the
+	// default Dirigent controllers for the stock configurations. Only
+	// meaningful when the configuration uses the runtime.
+	Policy string
 	// Targets are per-FG-stream latency targets; required when the
 	// configuration uses the Dirigent runtime.
 	Targets []time.Duration
@@ -79,6 +86,13 @@ func (r *Runner) StartSession(mix Mix, p RunParams) (*Session, error) {
 	cfg, err := config.ByName(p.Config)
 	if err != nil {
 		return nil, err
+	}
+	if p.Policy != "" {
+		if !policy.Valid(p.Policy) {
+			return nil, fmt.Errorf("experiment: unknown policy %q (valid: %s)",
+				p.Policy, strings.Join(policy.Names(), ", "))
+		}
+		cfg.Policy = p.Policy
 	}
 	execs := p.Executions
 	if execs <= 0 {
@@ -154,7 +168,19 @@ func (r *Runner) startSession(mix Mix, spec runSpec) (*Session, error) {
 	m.SetRecorder(rec)
 
 	opts := sched.Options{Seed: seed}
-	partitioned := spec.fgWays > 0 || spec.cfg.RuntimePartitioning
+	// Resolve the driving policy up front: its declared capability set —
+	// not a hard-wired config flag — decides whether the machine gets
+	// partition classes. For the default Dirigent policy this resolves to
+	// exactly the old RuntimePartitioning check, preserving seed-for-seed
+	// machine construction order.
+	var pol policy.Policy
+	if spec.cfg.UseRuntime {
+		pol, err = policy.New(spec.cfg.Policy, policy.Options{Partitioning: spec.cfg.RuntimePartitioning})
+		if err != nil {
+			return nil, err
+		}
+	}
+	partitioned := spec.fgWays > 0 || (pol != nil && pol.Capabilities().LLCWays)
 	var fgClass, bgClass cache.ClassID
 	if partitioned {
 		fgClass = m.LLC().DefineClass()
@@ -211,6 +237,7 @@ func (r *Runner) startSession(mix Mix, spec runSpec) (*Session, error) {
 		}
 		rt, err = core.NewRuntime(colo, profiles, core.RuntimeConfig{
 			Targets:             spec.targets,
+			Policy:              pol,
 			EnablePartitioning:  spec.cfg.RuntimePartitioning,
 			Recorder:            rec,
 			Faults:              inj,
@@ -237,6 +264,15 @@ func (s *Session) Colocation() *sched.Colocation { return s.colo }
 // Runtime returns the Dirigent runtime, or nil for configurations that do
 // not use it (Baseline and the static schemes).
 func (s *Session) Runtime() *core.Runtime { return s.rt }
+
+// Policy returns the registered name of the QoS policy driving the
+// session's runtime, or "" for non-runtime configurations.
+func (s *Session) Policy() string {
+	if s.rt == nil {
+		return ""
+	}
+	return s.rt.PolicyName()
+}
 
 // Aggregator returns the session's telemetry aggregator — the same stream
 // every derived statistic comes from. Read it only from the goroutine that

@@ -1,4 +1,4 @@
-package core
+package policy
 
 import (
 	"fmt"
@@ -117,18 +117,18 @@ type CoarseController struct {
 // partition.
 func NewCoarseController(llc *cache.LLC, fgClass, bgClass cache.ClassID, cfg CoarseConfig) (*CoarseController, error) {
 	if llc == nil {
-		return nil, fmt.Errorf("core: nil LLC")
+		return nil, fmt.Errorf("policy: nil LLC")
 	}
 	if fgClass == bgClass {
-		return nil, fmt.Errorf("core: FG and BG must use distinct partition classes")
+		return nil, fmt.Errorf("policy: FG and BG must use distinct partition classes")
 	}
 	cfg = cfg.withDefaults(llc.Ways())
 	if cfg.MinFGWays < 1 || cfg.MaxFGWays > llc.Ways()-1 || cfg.MinFGWays > cfg.MaxFGWays {
-		return nil, fmt.Errorf("core: FG way bounds [%d,%d] invalid for %d-way cache",
+		return nil, fmt.Errorf("policy: FG way bounds [%d,%d] invalid for %d-way cache",
 			cfg.MinFGWays, cfg.MaxFGWays, llc.Ways())
 	}
 	if cfg.InitialFGWays < cfg.MinFGWays || cfg.InitialFGWays > cfg.MaxFGWays {
-		return nil, fmt.Errorf("core: initial FG ways %d outside [%d,%d]",
+		return nil, fmt.Errorf("policy: initial FG ways %d outside [%d,%d]",
 			cfg.InitialFGWays, cfg.MinFGWays, cfg.MaxFGWays)
 	}
 	cc := &CoarseController{

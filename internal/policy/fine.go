@@ -1,4 +1,4 @@
-package core
+package policy
 
 import (
 	"errors"
@@ -155,21 +155,21 @@ type FineController struct {
 // machine's frequency levels must include every grade.
 func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []int, cfg FineConfig) (*FineController, error) {
 	if m == nil {
-		return nil, fmt.Errorf("core: nil machine")
+		return nil, fmt.Errorf("policy: nil machine")
 	}
 	if len(fgTasks) == 0 || len(fgTasks) != len(fgCores) {
-		return nil, fmt.Errorf("core: FG task/core lists invalid (%d tasks, %d cores)", len(fgTasks), len(fgCores))
+		return nil, fmt.Errorf("policy: FG task/core lists invalid (%d tasks, %d cores)", len(fgTasks), len(fgCores))
 	}
 	if len(bgTasks) != len(bgCores) {
-		return nil, fmt.Errorf("core: BG task/core lists invalid (%d tasks, %d cores)", len(bgTasks), len(bgCores))
+		return nil, fmt.Errorf("policy: BG task/core lists invalid (%d tasks, %d cores)", len(bgTasks), len(bgCores))
 	}
 	cfg = cfg.withDefaults()
 	for i, g := range cfg.Grades {
 		if g < 0 || g > m.MaxFreqLevel() {
-			return nil, fmt.Errorf("core: grade %d (level %d) outside machine levels", i, g)
+			return nil, fmt.Errorf("policy: grade %d (level %d) outside machine levels", i, g)
 		}
 		if i > 0 && g <= cfg.Grades[i-1] {
-			return nil, fmt.Errorf("core: grades must be strictly ascending")
+			return nil, fmt.Errorf("policy: grades must be strictly ascending")
 		}
 	}
 	fc := &FineController{
@@ -233,7 +233,7 @@ func (fc *FineController) setGrade(now sim.Time, core, grade int) bool {
 			fc.emitAction(now, telemetry.ActionActuationFail, -1, core, -1)
 			return false
 		}
-		panic(fmt.Sprintf("core: setGrade: %v", err))
+		panic(fmt.Sprintf("policy: setGrade: %v", err))
 	}
 	return true
 }
@@ -254,7 +254,7 @@ func (fc *FineController) emitAction(now sim.Time, a telemetry.Action, task, cor
 // to the FG task list given at construction.
 func (fc *FineController) Decide(now sim.Time, status []FGStatus) error {
 	if len(status) != len(fc.fgTasks) {
-		return fmt.Errorf("core: %d statuses for %d FG tasks", len(status), len(fc.fgTasks))
+		return fmt.Errorf("policy: %d statuses for %d FG tasks", len(status), len(fc.fgTasks))
 	}
 	if len(status) == 0 {
 		return nil
@@ -459,7 +459,7 @@ func (fc *FineController) pauseMostIntrusive(now sim.Time) {
 	if bestIdx >= 0 {
 		if err := fc.m.Pause(fc.bgTasks[bestIdx]); err != nil {
 			if !errors.Is(err, machine.ErrActuation) {
-				panic(fmt.Sprintf("core: pauseMostIntrusive: %v", err))
+				panic(fmt.Sprintf("policy: pauseMostIntrusive: %v", err))
 			}
 			// The pause was dropped: surface it instead of silently leaving
 			// the FG unprotected, and let the next decision retry.
@@ -482,7 +482,7 @@ func (fc *FineController) resumeAllPaused(now sim.Time) (resumed bool, failures 
 		}
 		if err := fc.m.Resume(t); err != nil {
 			if !errors.Is(err, machine.ErrActuation) {
-				panic(fmt.Sprintf("core: resumeAllPaused: %v", err))
+				panic(fmt.Sprintf("policy: resumeAllPaused: %v", err))
 			}
 			failures++
 			fc.windowActFailures++
@@ -529,8 +529,13 @@ func (fc *FineController) ResetWindow() {
 
 // AddFG registers a newly admitted FG task with the controller; stream is
 // its stable stream index for telemetry labels. The core is pinned to the
-// top grade, like construction-time FG cores.
+// top grade, like construction-time FG cores. Admission is validated
+// before any actuation: an occupied core or a duplicate task is rejected
+// with the machine untouched.
 func (fc *FineController) AddFG(task, core, stream int) error {
+	if err := fc.checkAdmission(task, core); err != nil {
+		return err
+	}
 	if err := fc.pinTop(core); err != nil {
 		return err
 	}
@@ -553,12 +558,17 @@ func (fc *FineController) RemoveFGByTask(task int) error {
 		fc.fgStreams = append(fc.fgStreams[:i], fc.fgStreams[i+1:]...)
 		return nil
 	}
-	return fmt.Errorf("core: FG task %d not managed", task)
+	return fmt.Errorf("policy: FG task %d not managed", task)
 }
 
 // AddBG registers a newly admitted BG task; its core is pinned to the top
-// grade so grade stepping is well-defined from the first decision.
+// grade so grade stepping is well-defined from the first decision. Like
+// AddFG, occupied cores and duplicate tasks are rejected before any
+// actuation.
 func (fc *FineController) AddBG(task, core int) error {
+	if err := fc.checkAdmission(task, core); err != nil {
+		return err
+	}
 	if err := fc.pinTop(core); err != nil {
 		return err
 	}
@@ -579,7 +589,34 @@ func (fc *FineController) RemoveBG(task int) error {
 		delete(fc.missSnapshot, task)
 		return nil
 	}
-	return fmt.Errorf("core: BG task %d not managed", task)
+	return fmt.Errorf("policy: BG task %d not managed", task)
+}
+
+// checkAdmission rejects an admission whose core is already managed or
+// whose task ID is already registered, so a bad scheduler call can't make
+// two controller entries fight over one core's grade.
+func (fc *FineController) checkAdmission(task, core int) error {
+	for _, c := range fc.fgCores {
+		if c == core {
+			return fmt.Errorf("policy: core %d already runs a managed FG task", core)
+		}
+	}
+	for _, c := range fc.bgCores {
+		if c == core {
+			return fmt.Errorf("policy: core %d already runs a managed BG task", core)
+		}
+	}
+	for _, t := range fc.fgTasks {
+		if t == task {
+			return fmt.Errorf("policy: task %d already managed as FG", task)
+		}
+	}
+	for _, t := range fc.bgTasks {
+		if t == task {
+			return fmt.Errorf("policy: task %d already managed as BG", task)
+		}
+	}
+	return nil
 }
 
 // pinTop pins a core to the controller's top grade, tolerating a dropped

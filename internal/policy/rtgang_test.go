@@ -1,0 +1,207 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"dirigent/internal/machine"
+	"dirigent/internal/workload"
+)
+
+// rivalFixture builds a machine with 2 FG tasks (cores 0-1) and 2 BG tasks
+// (cores 2-3) — the minimal mix where gang rotation and BG throttling are
+// both observable.
+type rivalFixture struct {
+	m       *machine.Machine
+	fgTasks []int
+	bgTasks []int
+}
+
+func newRivalFixture(t *testing.T) *rivalFixture {
+	t.Helper()
+	m := machine.MustNew(machine.DefaultConfig())
+	f := &rivalFixture{m: m}
+	for c, name := range []string{"ferret", "bodytrack"} {
+		id, err := m.Launch(name, workload.MustProgram(workload.MustByName(name)), c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.fgTasks = append(f.fgTasks, id)
+	}
+	for c := 2; c < 4; c++ {
+		id, err := m.Launch("bwaves", workload.MustProgram(workload.MustByName("bwaves")), c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.bgTasks = append(f.bgTasks, id)
+	}
+	return f
+}
+
+func (f *rivalFixture) binding() Binding {
+	return Binding{
+		Machine:   f.m,
+		FGTasks:   f.fgTasks,
+		FGCores:   []int{0, 1},
+		FGStreams: []int{0, 1},
+		BGTasks:   f.bgTasks,
+		BGCores:   []int{2, 3},
+		Targets:   []time.Duration{time.Second, time.Second},
+	}
+}
+
+func (f *rivalFixture) paused(t *testing.T, task int) bool {
+	t.Helper()
+	p, err := f.m.Paused(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func (f *rivalFixture) level(t *testing.T, core int) int {
+	t.Helper()
+	l, err := f.m.FreqLevel(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRTGangInitRunsOneGang(t *testing.T) {
+	f := newRivalFixture(t)
+	g := NewRTGang()
+	if err := g.Init(f.binding()); err != nil {
+		t.Fatal(err)
+	}
+	if f.paused(t, f.fgTasks[0]) {
+		t.Error("active gang must run unpaused")
+	}
+	if !f.paused(t, f.fgTasks[1]) {
+		t.Error("non-gang FG must be paused")
+	}
+	top := f.m.MaxFreqLevel()
+	for _, c := range []int{0, 1} {
+		if f.level(t, c) != top {
+			t.Errorf("FG core %d at level %d, want top %d", c, f.level(t, c), top)
+		}
+	}
+	for _, c := range []int{2, 3} {
+		if f.level(t, c) != 0 {
+			t.Errorf("BG core %d at level %d, want floored 0", c, f.level(t, c))
+		}
+	}
+}
+
+func TestRTGangRotatesAtExecutionBoundary(t *testing.T) {
+	f := newRivalFixture(t)
+	g := NewRTGang()
+	if err := g.Init(f.binding()); err != nil {
+		t.Fatal(err)
+	}
+	// A non-gang stream completing must not rotate.
+	g.OnExecution(1, ExecutionSample{End: f.m.Now()})
+	if f.paused(t, f.fgTasks[0]) || !f.paused(t, f.fgTasks[1]) {
+		t.Fatal("non-gang completion must not rotate the gang")
+	}
+	// The gang's own completion hands the machine to the next FG.
+	g.OnExecution(0, ExecutionSample{End: f.m.Now()})
+	if !f.paused(t, f.fgTasks[0]) {
+		t.Error("finished gang must be paused")
+	}
+	if f.paused(t, f.fgTasks[1]) {
+		t.Error("next gang must be resumed")
+	}
+	// Full rotation wraps back to stream 0.
+	g.OnExecution(1, ExecutionSample{End: f.m.Now()})
+	if f.paused(t, f.fgTasks[0]) || !f.paused(t, f.fgTasks[1]) {
+		t.Error("rotation must wrap around to the first gang")
+	}
+}
+
+func TestRTGangTickHealsDivergence(t *testing.T) {
+	f := newRivalFixture(t)
+	g := NewRTGang()
+	if err := g.Init(f.binding()); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the state the policy owns: resume the paused FG, speed a BG
+	// core back up.
+	if err := f.m.Resume(f.fgTasks[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.m.SetFreqLevel(2, f.m.MaxFreqLevel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Tick(f.m.Now(), make([]FGStatus, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !f.paused(t, f.fgTasks[1]) {
+		t.Error("Tick must re-pause a non-gang FG")
+	}
+	if f.level(t, 2) != 0 {
+		t.Error("Tick must re-floor a BG core")
+	}
+	w := g.Window()
+	if w.Decisions != 1 {
+		t.Errorf("Decisions = %d, want 1", w.Decisions)
+	}
+	if w.BGSuppressed != 1 {
+		t.Errorf("BGSuppressed = %d, want 1 (BG is always suppressed)", w.BGSuppressed)
+	}
+	g.ResetWindow()
+	if g.Window() != (FineWindow{}) {
+		t.Error("ResetWindow must clear all counters")
+	}
+}
+
+func TestRTGangRemoveActiveGangPromotesNext(t *testing.T) {
+	f := newRivalFixture(t)
+	g := NewRTGang()
+	if err := g.Init(f.binding()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveFG(f.fgTasks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if f.paused(t, f.fgTasks[1]) {
+		t.Error("removing the active gang must resume the next FG")
+	}
+	if err := g.RemoveFG(f.fgTasks[0]); err == nil {
+		t.Error("removing an unmanaged task must error")
+	}
+}
+
+func TestRTGangBGLifecycle(t *testing.T) {
+	f := newRivalFixture(t)
+	g := NewRTGang()
+	if err := g.Init(f.binding()); err != nil {
+		t.Fatal(err)
+	}
+	task, err := f.m.Launch("bwaves", workload.MustProgram(workload.MustByName("bwaves")), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBG(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	if f.level(t, 4) != 0 {
+		t.Error("admitted BG core must be floored")
+	}
+	if err := g.RemoveBG(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveBG(f.fgTasks[0]); err == nil {
+		t.Error("RemoveBG of a non-BG task must error")
+	}
+}
+
+func TestRTGangRequiresMachineAndFG(t *testing.T) {
+	if err := NewRTGang().Init(Binding{}); err == nil {
+		t.Error("Init without a machine must error")
+	}
+	f := newRivalFixture(t)
+	if err := NewRTGang().Init(Binding{Machine: f.m}); err == nil {
+		t.Error("Init without FG tasks must error")
+	}
+}

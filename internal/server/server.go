@@ -14,6 +14,7 @@ import (
 	"dirigent/internal/config"
 	"dirigent/internal/experiment"
 	"dirigent/internal/fault"
+	"dirigent/internal/policy"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
@@ -155,6 +156,10 @@ type CreateTenantRequest struct {
 	// Mix is the workload; Config one of the five configuration names.
 	Mix    MixSpec `json:"mix"`
 	Config string  `json:"config"`
+	// Policy names the QoS policy driving the runtime (a registered
+	// internal/policy name: dirigent, rtgang, cordlike). Empty defaults to
+	// dirigent. Only meaningful for runtime configurations.
+	Policy string `json:"policy,omitempty"`
 	// TargetsNS are per-FG-stream latency targets in nanoseconds; required
 	// for runtime configurations (DirigentFreq, Dirigent).
 	TargetsNS []int64 `json:"targets_ns,omitempty"`
@@ -224,7 +229,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	mix := experiment.Mix{Name: req.Mix.Name, FG: req.Mix.FG, BG: req.Mix.BG}
 	cfg, err := config.ByName(config.Name(req.Config))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("%s (valid: %s)", err, joinConfigNames()))
+		return
+	}
+	if req.Policy != "" && !policy.Valid(req.Policy) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("unknown policy %q (valid: %s)", req.Policy, strings.Join(policy.Names(), ", ")))
 		return
 	}
 	if cfg.UseRuntime && len(req.TargetsNS) != len(mix.FG) {
@@ -234,6 +245,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	params := experiment.RunParams{
 		Config:      cfg.Name,
+		Policy:      req.Policy,
 		Deadlines:   req.DeadlinesS,
 		Executions:  req.Executions,
 		ExtraWarmup: req.ExtraWarmup,
@@ -609,6 +621,16 @@ func (s *Server) tenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) 
 		return nil, false
 	}
 	return t, true
+}
+
+// joinConfigNames lists the valid configuration names for 400 messages.
+func joinConfigNames() string {
+	names := config.Names()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return strings.Join(out, ", ")
 }
 
 // parseBGSpec parses the "name" / "a+b" worker syntax shared with

@@ -431,3 +431,65 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("tenants after shutdown: %d", got)
 	}
 }
+
+// TestPolicyTenants exercises the policy engine over the API: bad policy
+// names 400 with the valid set listed, and a tenant under each registered
+// policy runs to completion with the policy label in its stats and its
+// streamed telemetry.
+func TestPolicyTenants(t *testing.T) {
+	r := experiment.NewRunner()
+	srv := New(Config{Runner: r})
+	ts, client := testClient(t, srv)
+
+	bad := CreateTenantRequest{
+		Mix:       MixSpec{Name: "x", FG: []string{"ferret"}, BG: []string{"pca"}},
+		Config:    string(config.DirigentFreq),
+		Policy:    "nope",
+		TargetsNS: []int64{int64(time.Second)},
+	}
+	code, raw := doJSON(t, client, "POST", ts.URL+"/v1/tenants", bad, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bogus policy: %d %s, want 400", code, raw)
+	}
+	for _, name := range []string{"dirigent", "rtgang", "cordlike"} {
+		if !strings.Contains(raw, name) {
+			t.Errorf("400 body %q should list policy %q", raw, name)
+		}
+	}
+	if got := srv.Tenants(); got != 0 {
+		t.Fatalf("rejected creates leaked %d tenant slots", got)
+	}
+
+	for _, name := range []string{"dirigent", "rtgang", "cordlike"} {
+		req := CreateTenantRequest{
+			Mix:        MixSpec{Name: "p " + name, FG: []string{"ferret"}, BG: []string{"pca", "pca"}},
+			Config:     string(config.Dirigent),
+			Policy:     name,
+			TargetsNS:  []int64{int64(2 * time.Second)},
+			Executions: 6,
+		}
+		var created createTenantResponse
+		if code, raw := doJSON(t, client, "POST", ts.URL+"/v1/tenants", req, &created); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", name, code, raw)
+		}
+		st := waitDone(t, client, ts.URL, created.ID)
+		if st.State != StateDone {
+			t.Fatalf("%s: state %s (%s)", name, st.State, st.Error)
+		}
+		if st.Policy != name {
+			t.Errorf("%s: stats policy %q", name, st.Policy)
+		}
+		// The run's decision events must carry the policy label through the
+		// JSONL trace framing subscribers use.
+		var result experiment.RunResult
+		if code, raw := doJSON(t, client, "GET", ts.URL+"/v1/tenants/"+created.ID+"/result", nil, &result); code != http.StatusOK {
+			t.Fatalf("%s result: %d %s", name, code, raw)
+		}
+		if result.Policy != name {
+			t.Errorf("%s: result policy %q", name, result.Policy)
+		}
+		if result.Fine.Decisions == 0 {
+			t.Errorf("%s: no fine decisions recorded", name)
+		}
+	}
+}

@@ -34,10 +34,13 @@ var (
 // derived on the tenant's own worker goroutine — run statistics come from
 // the session's telemetry.Aggregator, the same stream subscribers see.
 type TenantStats struct {
-	ID     string      `json:"id"`
-	Name   string      `json:"name,omitempty"`
-	Mix    string      `json:"mix"`
-	Config string      `json:"config"`
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Mix    string `json:"mix"`
+	Config string `json:"config"`
+	// Policy is the QoS policy driving the tenant's runtime ("" for
+	// non-runtime configurations).
+	Policy string      `json:"policy,omitempty"`
 	State  TenantState `json:"state"`
 	Error  string      `json:"error,omitempty"`
 
@@ -228,6 +231,7 @@ func (t *Tenant) stats() TenantStats {
 		ID: t.id, Name: t.name,
 		Mix:    sess.Mix().Name,
 		Config: string(sess.Config()),
+		Policy: sess.Policy(),
 		State:  t.state, Error: t.errMsg,
 		Completed:  sess.Completed(),
 		Goal:       t.goal,

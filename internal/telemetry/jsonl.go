@@ -118,6 +118,9 @@ func appendEvent(b []byte, ev Event) []byte {
 	if ev.Run != "" {
 		b = appendStr(b, "run", ev.Run)
 	}
+	if ev.Policy != "" {
+		b = appendStr(b, "policy", ev.Policy)
+	}
 	switch ev.Kind {
 	case KindMachineStart:
 		b = appendInt(b, "cores", ev.Cores)

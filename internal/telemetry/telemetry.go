@@ -151,6 +151,9 @@ const (
 	// requested was dropped (injected fault); the controller retries on a
 	// later decision.
 	ActionActuationFail
+	// ActionGangSwitch: the RT-Gang policy rotated the active FG gang; the
+	// event's Task/Core/Stream identify the newly resumed gang.
+	ActionGangSwitch
 )
 
 var actionNames = [...]string{
@@ -162,6 +165,7 @@ var actionNames = [...]string{
 	ActionBGPause:       "bg_pause",
 	ActionBGResume:      "bg_resume",
 	ActionActuationFail: "actuation_fail",
+	ActionGangSwitch:    "gang_switch",
 }
 
 // String returns the stable wire name of the action.
@@ -202,6 +206,15 @@ const (
 	ReasonNoChange Reason = "no-change"
 )
 
+// Rival-policy decision reasons (internal/policy).
+const (
+	// ReasonGangActive labels an RT-Gang invariant-enforcement decision.
+	ReasonGangActive Reason = "gang-active"
+	// ReasonStaticDecomposition labels the CORD-style policy's static
+	// allocation: its initial partition move and its re-assert decisions.
+	ReasonStaticDecomposition Reason = "static-decomposition"
+)
+
 // Event is one telemetry record. It is a flat value type — recording an
 // event allocates nothing — with a Kind discriminant; only the field groups
 // documented on each Kind are meaningful for that kind.
@@ -211,6 +224,10 @@ type Event struct {
 	At sim.Time
 	// Run is an optional run label stamped by WithRun.
 	Run string
+	// Policy is an optional QoS-policy label stamped by WithPolicy: the
+	// runtime wraps each policy's recorder so its action/decision events
+	// stay distinguishable when several policies share one stream.
+	Policy string
 
 	// Identity of the task/core/stream the event concerns (kind-dependent).
 	Task   int
@@ -357,5 +374,29 @@ func (s *runScope) Enabled(k Kind) bool { return s.r.Enabled(k) }
 
 func (s *runScope) Record(ev Event) {
 	ev.Run = s.run
+	s.r.Record(ev)
+}
+
+// policyScope stamps a policy label onto every event.
+type policyScope struct {
+	r      Recorder
+	policy string
+}
+
+// WithPolicy wraps r so every recorded event carries the given QoS-policy
+// label; the runtime wraps the recorder it hands each policy, so the
+// policy's decision/action events (and everything else it emits) stay
+// attributable in mixed traces.
+func WithPolicy(r Recorder, policy string) Recorder {
+	if IsNop(r) {
+		return nopRecorder
+	}
+	return &policyScope{r: r, policy: policy}
+}
+
+func (s *policyScope) Enabled(k Kind) bool { return s.r.Enabled(k) }
+
+func (s *policyScope) Record(ev Event) {
+	ev.Policy = s.policy
 	s.r.Record(ev)
 }

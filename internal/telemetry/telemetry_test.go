@@ -299,3 +299,60 @@ func TestAggregatorStreamDurations(t *testing.T) {
 		t.Error("StreamDurations must return a copy")
 	}
 }
+
+func TestWithPolicyStampsLabel(t *testing.T) {
+	if WithPolicy(Nop(), "rtgang") != Nop() {
+		t.Error("WithPolicy over nop must stay nop")
+	}
+	c := &captureSink{}
+	r := WithPolicy(c, "rtgang")
+	r.Record(Event{Kind: KindFineDecision, Streams: 2})
+	if len(c.events) != 1 || c.events[0].Policy != "rtgang" {
+		t.Errorf("policy label not stamped: %+v", c.events)
+	}
+	if c.events[0].Streams != 2 {
+		t.Error("payload must pass through unchanged")
+	}
+	// Composition with WithRun: both labels land on the same event.
+	c2 := &captureSink{}
+	rr := WithPolicy(WithRun(c2, "mixA/Dirigent"), "dirigent")
+	rr.Record(Event{Kind: KindFineAction, Action: ActionGangSwitch})
+	if c2.events[0].Run != "mixA/Dirigent" || c2.events[0].Policy != "dirigent" {
+		t.Errorf("labels must compose: %+v", c2.events)
+	}
+}
+
+func TestJSONLPolicyField(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	r := WithPolicy(Recorder(j), "cordlike")
+	r.Record(Event{Kind: KindFineDecision, At: 5, Reason: ReasonStaticDecomposition, Streams: 1})
+	r.Record(Event{Kind: KindFineAction, Action: ActionGangSwitch, Task: 2, Core: 1, Stream: 1})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line not valid JSON: %v\n%s", err, ln)
+		}
+		if p, _ := obj["policy"].(string); p != "cordlike" {
+			t.Errorf("policy field = %q, want %q in %s", p, "cordlike", ln)
+		}
+	}
+	var act map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &act); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := act["action"].(string); a != "gang_switch" {
+		t.Errorf("action = %q, want gang_switch", a)
+	}
+	// Unlabelled events omit the field entirely.
+	buf.Reset()
+	j2 := NewJSONL(&buf)
+	j2.Record(Event{Kind: KindFineDecision, Streams: 1})
+	if strings.Contains(buf.String(), "policy") {
+		t.Errorf("unlabelled event must omit the policy field: %s", buf.String())
+	}
+}

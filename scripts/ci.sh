@@ -4,6 +4,7 @@
 #   scripts/ci.sh          # full: gofmt + vet + build + tests + race detector
 #                          # + package-comment check for internal/*
 #                          # + the shrunk fault-injection (resilience) smoke
+#                          # + the policy-sweep smoke (every QoS policy end to end)
 #                          # + the dirigent-serve API smoke (-selfcheck)
 #   scripts/ci.sh -short   # same legs, but skip the long end-to-end tests
 #   scripts/ci.sh -bench   # additionally run the perf/QoS regression gate
@@ -65,6 +66,9 @@ fi
 
 echo "== dirigent-bench -resilience -short (fault-injection smoke)"
 go run ./cmd/dirigent-bench -resilience -short >/dev/null
+
+echo "== dirigent-bench -policies -short (policy-sweep smoke)"
+go run ./cmd/dirigent-bench -policies -short >/dev/null
 
 echo "== dirigent-serve -selfcheck (server API smoke)"
 go run ./cmd/dirigent-serve -selfcheck >/dev/null
