@@ -10,6 +10,7 @@
 //	dirigent-ci -check               # gate against the latest BENCH_<n>.json
 //	dirigent-ci -check -perf warn    # cloud CI: perf drifts warn, QoS still fails
 //	dirigent-ci -selftest            # prove the gate catches an injected slowdown
+//	dirigent-ci -scenarios           # run the declarative scenario suite (scenarios/)
 //
 // Exit status: 0 when the gate passes (warnings allowed), 1 on failure or
 // error, 2 on usage errors.
@@ -23,17 +24,20 @@ import (
 	"time"
 
 	"dirigent/internal/benchreg"
+	"dirigent/internal/scenario"
 )
 
 func main() {
 	var (
-		record   = flag.Bool("record", false, "run the suite and write the next BENCH_<n>.json baseline")
-		check    = flag.Bool("check", false, "run the suite and gate it against the latest baseline")
-		selftest = flag.Bool("selftest", false, "validate the gate end-to-end (injected slowdown must fail)")
+		record    = flag.Bool("record", false, "run the suite and write the next BENCH_<n>.json baseline")
+		check     = flag.Bool("check", false, "run the suite and gate it against the latest baseline")
+		selftest  = flag.Bool("selftest", false, "validate the gate end-to-end (injected slowdown must fail)")
+		scenarios = flag.Bool("scenarios", false, "run the declarative scenario suite and gate on its goals")
 
-		dir      = flag.String("dir", ".", "directory holding BENCH_<n>.json baselines")
-		baseline = flag.String("baseline", "", "explicit baseline file for -check (default: latest in -dir)")
-		out      = flag.String("out", "", "explicit output file for -record (default: next BENCH_<n>.json in -dir)")
+		dir         = flag.String("dir", ".", "directory holding BENCH_<n>.json baselines")
+		baseline    = flag.String("baseline", "", "explicit baseline file for -check (default: latest in -dir)")
+		out         = flag.String("out", "", "explicit output file for -record (default: next BENCH_<n>.json in -dir)")
+		scenarioDir = flag.String("scenario-dir", "scenarios", "directory holding *.json scenario specs for -scenarios")
 
 		perfMode = flag.String("perf", "fail", "perf-metric gating: fail, warn (cloud CI), or off")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
@@ -46,13 +50,13 @@ func main() {
 	flag.Parse()
 
 	modes := 0
-	for _, m := range []bool{*record, *check, *selftest} {
+	for _, m := range []bool{*record, *check, *selftest, *scenarios} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "dirigent-ci: exactly one of -record, -check, -selftest is required")
+		fmt.Fprintln(os.Stderr, "dirigent-ci: exactly one of -record, -check, -selftest, -scenarios is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -79,6 +83,41 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("dirigent-ci: selftest ok — the gate catches injected machine.Step slowdowns")
+		logf("running scenario-gate selftest")
+		if err := scenario.SelfTest(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("dirigent-ci: selftest ok — the scenario gate reports injected goal violations")
+
+	case *scenarios:
+		specs, err := scenario.LoadDir(*scenarioDir)
+		if err != nil {
+			fatal(err)
+		}
+		logf("running %d scenarios from %s", len(specs), *scenarioDir)
+		start := time.Now()
+		sr, err := scenario.RunSuite(specs)
+		if err != nil {
+			fatal(err)
+		}
+		logf("suite done in %v", time.Since(start).Round(time.Millisecond))
+		switch {
+		case *jsonOut:
+			s, err := scenario.RenderJSON(sr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(s)
+		case *mdOut:
+			fmt.Print(scenario.RenderMarkdown(sr))
+		default:
+			fmt.Print(scenario.RenderText(sr))
+		}
+		if !sr.Pass {
+			fmt.Fprintf(os.Stderr, "dirigent-ci: FAIL — scenario goal violation(s): %v\n", sr.Failed())
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "dirigent-ci: scenario suite passed")
 
 	case *record:
 		path := *out

@@ -67,8 +67,19 @@ type ClassID = cache.ClassID
 // Time is an instant on the simulated timeline.
 type Time = sim.Time
 
+// CoreSet describes one homogeneous group of cores inside a heterogeneous
+// machine configuration (count, frequency/IPC scaling, memory socket).
+type CoreSet = machine.CoreSet
+
 // DefaultMachineConfig mirrors the paper's Xeon E5-2618L v3 platform.
 func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// MachineClassNames lists the registered machine classes (sorted).
+func MachineClassNames() []string { return machine.ClassNames() }
+
+// MachineClassConfig returns the configuration of a registered machine
+// class ("" selects the default class, the paper's Xeon).
+func MachineClassConfig(name string) (MachineConfig, error) { return machine.ClassConfig(name) }
 
 // NewMachine builds a machine; it panics on an invalid configuration (use
 // machine configs derived from DefaultMachineConfig).

@@ -10,6 +10,7 @@ import (
 	"dirigent/internal/experiment"
 	"dirigent/internal/machine"
 	"dirigent/internal/policy"
+	"dirigent/internal/scenario"
 	"dirigent/internal/sim"
 	"dirigent/internal/telemetry"
 	"dirigent/internal/workload"
@@ -254,7 +255,69 @@ func Run(o Options) (*Baseline, error) {
 		newMetric("resilience_reprofile_success_"+rslug, "fraction", StatMedian, Exact, true,
 			[]float64{res.RecoveredSuccess}),
 	)
+
+	// --- Scenario suite (Kind Exact) ---------------------------------------
+	// One pinned scenario per machine class, so a change to the class
+	// configurations, the heterogeneous solver, or the scenario harness
+	// shows up as metric drift even when no scenarios/*.json goal trips.
+	for _, spec := range scenarioProbes(o.Quick) {
+		sres, err := scenario.RunSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: scenario probe %s: %w", spec.Name, err)
+		}
+		cslug := strings.ReplaceAll(spec.MachineClass, "-", "_")
+		b.Metrics = append(b.Metrics,
+			newMetric("scenario_qos_"+cslug, "fraction", StatMedian, Exact, true,
+				[]float64{sres.QoSSuccess}),
+			newMetric("scenario_bg_throughput_"+cslug, "ratio", StatMedian, Exact, true,
+				[]float64{sres.BGThroughput}),
+		)
+	}
 	return b, nil
+}
+
+// scenarioProbes pins one scenario per machine class. The goals are
+// deliberately loose: the benchreg gate compares the exact recorded values,
+// which is far stricter than any goal threshold.
+func scenarioProbes(quick bool) []scenario.Spec {
+	specs := []scenario.Spec{
+		{
+			Name:         "probe-xeon-e5",
+			MachineClass: "xeon-e5",
+			Mix:          scenario.MixSpec{FG: []string{"ferret"}, BG: []string{"rs", "lbm"}},
+			Policy:       policy.NameDirigent,
+			Executions:   10,
+			Goals:        scenario.GoalSpec{MinQoSSuccess: 0.01},
+		},
+		{
+			Name:         "probe-quad-low",
+			MachineClass: "quad-low",
+			Mix:          scenario.MixSpec{FG: []string{"ferret"}, BG: []string{"lbm", "rs"}},
+			Policy:       policy.NameDirigent,
+			Executions:   10,
+			Goals:        scenario.GoalSpec{MinQoSSuccess: 0.01},
+		},
+		{
+			Name:         "probe-biglittle",
+			MachineClass: "biglittle",
+			Mix:          scenario.MixSpec{FG: []string{"ferret", "raytrace"}, BG: []string{"lbm", "rs", "pca", "namd"}},
+			Policy:       policy.NameDirigent,
+			Executions:   10,
+			Goals:        scenario.GoalSpec{MinQoSSuccess: 0.01},
+		},
+		{
+			Name:         "probe-dual-socket",
+			MachineClass: "dual-socket",
+			Mix:          scenario.MixSpec{FG: []string{"ferret", "bodytrack"}, BG: []string{"lbm", "soplex", "bwaves", "pca"}},
+			Policy:       policy.NameDirigent,
+			Executions:   10,
+			Goals:        scenario.GoalSpec{MinQoSSuccess: 0.01},
+		},
+	}
+	if quick {
+		return specs[:1]
+	}
+	return specs
 }
 
 // stepSample times o.StepIters machine quanta on the standard fully loaded

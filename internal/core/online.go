@@ -39,7 +39,7 @@ type OnlineProfileOptions struct {
 // build the runtime with the returned profile afterwards.
 func ProfileOnline(colo *sched.Colocation, stream int, opts OnlineProfileOptions) (*Profile, error) {
 	if colo == nil {
-		return nil, fmt.Errorf("core: nil colocation")
+		return nil, errors.New("core: nil colocation")
 	}
 	fgs := colo.FG()
 	if stream < 0 || stream >= len(fgs) {

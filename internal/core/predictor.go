@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -88,7 +89,7 @@ type Predictor struct {
 // EMA weight; pass 0 for the paper's default 0.2.
 func NewPredictor(profile *Profile, weight float64) (*Predictor, error) {
 	if profile == nil {
-		return nil, fmt.Errorf("core: nil profile")
+		return nil, errors.New("core: nil profile")
 	}
 	if err := profile.Validate(); err != nil {
 		return nil, err
@@ -182,7 +183,7 @@ func (p *Predictor) SetRecorder(rec telemetry.Recorder, stream int) {
 // crossings since the previous sample are resolved by linear interpolation.
 func (p *Predictor) Observe(now sim.Time, progress float64) error {
 	if !p.started {
-		return fmt.Errorf("core: Observe before BeginExecution")
+		return errors.New("core: Observe before BeginExecution")
 	}
 	if now < p.prevTime {
 		return fmt.Errorf("core: time went backwards: %v < %v", now, p.prevTime)
@@ -255,7 +256,7 @@ func (p *Predictor) Observe(now sim.Time, progress float64) error {
 // the final milestone), and carries the α average into the next execution.
 func (p *Predictor) FinishExecution(end sim.Time) error {
 	if !p.started {
-		return fmt.Errorf("core: FinishExecution before BeginExecution")
+		return errors.New("core: FinishExecution before BeginExecution")
 	}
 	total := p.milestones[len(p.milestones)-1]
 	if total < p.prevProg {
@@ -279,7 +280,7 @@ func (p *Predictor) FinishExecution(end sim.Time) error {
 // any point during an execution, including before the first milestone.
 func (p *Predictor) Predict(now sim.Time) (sim.Time, error) {
 	if !p.started {
-		return 0, fmt.Errorf("core: Predict before BeginExecution")
+		return 0, errors.New("core: Predict before BeginExecution")
 	}
 	scale := p.scaleMA.Value()
 	alpha := p.alphaMA.Value()

@@ -7,6 +7,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -47,13 +48,13 @@ type Profile struct {
 // Validate checks internal consistency.
 func (p *Profile) Validate() error {
 	if p.Benchmark == "" {
-		return fmt.Errorf("core: profile has no benchmark name")
+		return errors.New("core: profile has no benchmark name")
 	}
 	if p.SamplePeriod <= 0 {
 		return fmt.Errorf("core: profile sample period %v must be positive", p.SamplePeriod)
 	}
 	if len(p.Segments) == 0 {
-		return fmt.Errorf("core: profile has no segments")
+		return errors.New("core: profile has no segments")
 	}
 	for i, s := range p.Segments {
 		if s.Progress <= 0 {
@@ -178,7 +179,7 @@ func (o ProfilerOptions) withDefaults() ProfilerOptions {
 // Dirigent; its output feeds the online predictor.
 func ProfileBenchmark(b *workload.Benchmark, opts ProfilerOptions) (*Profile, error) {
 	if b == nil {
-		return nil, fmt.Errorf("core: nil benchmark")
+		return nil, errors.New("core: nil benchmark")
 	}
 	if b.Kind != workload.Foreground {
 		return nil, fmt.Errorf("core: %s is not a foreground benchmark", b.Name)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -134,7 +135,7 @@ type Runtime struct {
 // per FG stream (parallel slices).
 func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) (*Runtime, error) {
 	if colo == nil {
-		return nil, fmt.Errorf("core: nil colocation")
+		return nil, errors.New("core: nil colocation")
 	}
 	cfg = cfg.withDefaults()
 	fgs := colo.FG()
@@ -316,7 +317,7 @@ func (r *Runtime) SetTarget(stream int, target time.Duration) error {
 // admission schedule.
 func (r *Runtime) AdmitStream(b *workload.Benchmark, profile *Profile, target time.Duration) (int, error) {
 	if profile == nil {
-		return 0, fmt.Errorf("core: nil profile")
+		return 0, errors.New("core: nil profile")
 	}
 	if b == nil || profile.Benchmark != b.Name {
 		return 0, fmt.Errorf("core: profile %q does not match admitted benchmark", profile.Benchmark)
@@ -506,13 +507,17 @@ func (r *Runtime) Step() error {
 	// Sample every FG stream's progress and update its predictor,
 	// informing it of the core's current DVFS state so self-throttling is
 	// not mistaken for interference.
-	nominal := m.Config().FreqLevelsGHz[m.MaxFreqLevel()]
 	for i, f := range r.colo.FG() {
 		if f.Removed() {
 			continue
 		}
+		// The nominal clock is per-core: on heterogeneous classes a little
+		// core's self-throttling is judged against its own top frequency,
+		// not the big cores'.
 		if f_cur, err := m.FreqGHz(f.Core); err == nil && f_cur > 0 {
-			r.preds[i].SetFrequencyFactor(nominal / f_cur)
+			if nominal, err := m.CoreMaxFreqGHz(f.Core); err == nil {
+				r.preds[i].SetFrequencyFactor(nominal / f_cur)
+			}
 		}
 		progress := m.Counters().Task(f.Task).Instructions - r.instrAtStart[i]
 		if inj := r.cfg.Faults; inj != nil {

@@ -11,6 +11,7 @@ import (
 	"dirigent/internal/config"
 	"dirigent/internal/core"
 	"dirigent/internal/fault"
+	"dirigent/internal/machine"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
 	"dirigent/internal/stats"
@@ -39,6 +40,11 @@ type Runner struct {
 	ConvergenceWarmup int
 	// TimeLimit bounds each run in simulated time.
 	TimeLimit time.Duration
+	// MachineClass selects the hardware every run and profile of this
+	// runner is built on (machine.ClassNames). Empty means the default
+	// xeon-e5 evaluation platform, byte-identical to runners predating
+	// machine classes.
+	MachineClass string
 
 	// Recorder is an optional extra telemetry sink: every run's event
 	// stream is teed into it (labelled "mix/config" via WithRun) in
@@ -73,16 +79,29 @@ func NewRunner() *Runner {
 	}
 }
 
-// Profile returns the offline profile for an FG benchmark, computing and
-// caching it on first use. Profiles are immutable and safe to share.
-// Concurrent calls for the same benchmark are single-flight: exactly one
-// profiling run happens, the rest wait for its result.
+// Profile returns the offline profile for an FG benchmark on the runner's
+// machine class, computing and caching it on first use. Profiles are
+// immutable and safe to share. Concurrent calls for the same benchmark are
+// single-flight: exactly one profiling run happens, the rest wait for its
+// result.
 func (r *Runner) Profile(name string) (*core.Profile, error) {
+	// Profiles are machine-dependent (a little core's standalone time is
+	// not a Xeon's), so the cache key carries the class. The default class
+	// keeps the bare benchmark name and the zero profiler options the
+	// pre-class code used.
+	class := r.MachineClass
+	if class == machine.DefaultClass {
+		class = ""
+	}
+	key := name
+	if class != "" {
+		key = class + "/" + name
+	}
 	r.mu.Lock()
-	e, ok := r.profiles[name]
+	e, ok := r.profiles[key]
 	if !ok {
 		e = &profileEntry{}
-		r.profiles[name] = e
+		r.profiles[key] = e
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
@@ -91,7 +110,16 @@ func (r *Runner) Profile(name string) (*core.Profile, error) {
 			e.err = err
 			return
 		}
-		e.p, e.err = core.ProfileBenchmark(b, core.ProfilerOptions{})
+		opts := core.ProfilerOptions{}
+		if class != "" {
+			mcfg, err := machine.ClassConfig(class)
+			if err != nil {
+				e.err = err
+				return
+			}
+			opts.MachineConfig = mcfg
+		}
+		e.p, e.err = core.ProfileBenchmark(b, opts)
 	})
 	return e.p, e.err
 }

@@ -152,7 +152,13 @@ func (r *Runner) startSession(mix Mix, spec runSpec) (*Session, error) {
 		rec = telemetry.Tee(agg, user, spec.extra)
 	}
 
-	mcfg := machine.DefaultConfig()
+	// Resolve the runner's machine class ("" is the default xeon-e5, whose
+	// config is exactly machine.DefaultConfig — byte-identical to the
+	// pre-class construction path).
+	mcfg, err := machine.ClassConfig(r.MachineClass)
+	if err != nil {
+		return nil, err
+	}
 	mcfg.Seed = seed
 	var inj *fault.Injector
 	if !spec.faults.IsZero() {

@@ -49,6 +49,31 @@ const BytesPerMiss = 2 * cache.LineSize
 // quantum. Four is enough for <1% residual at the quantum scale.
 const solverIterations = 4
 
+// CoreSet describes a run of consecutive cores sharing one microarchitecture
+// and memory socket, the building block of heterogeneous (big.LITTLE-style)
+// and multi-socket machine classes. The zero value of every field except
+// Count means "like the evaluation machine": unscaled frequency, unscaled
+// IPC, socket 0.
+type CoreSet struct {
+	// Count is the number of consecutive cores in this set. Sets are laid
+	// out in declaration order starting at core 0, so a class that lists
+	// its big cores first gets foreground streams (which the scheduler
+	// places on the lowest cores) on the big cores.
+	Count int
+	// FreqScale scales the shared DVFS level grid for these cores: level i
+	// runs at FreqLevelsGHz[i]·FreqScale. Controllers keep addressing the
+	// shared level indices; only the realized clock differs. Zero means 1.
+	FreqScale float64
+	// IPCScale scales per-cycle throughput: the effective base CPI is
+	// BaseCPI/IPCScale, modelling a narrower (in-order, little) core.
+	// The memory-bound CPI component is unscaled — stalls are latency,
+	// not width. Zero means 1.
+	IPCScale float64
+	// Socket is the memory socket (index into mem.Config.Sockets) whose
+	// bandwidth pool these cores' traffic contends on.
+	Socket int
+}
+
 // Config describes a machine.
 type Config struct {
 	// Cores is the number of cores (6 on the evaluation machine).
@@ -56,6 +81,12 @@ type Config struct {
 	// FreqLevelsGHz are the per-core DVFS operating points, ascending. The
 	// evaluation machine exposes 1.2–2.0 GHz in 0.1 GHz steps.
 	FreqLevelsGHz []float64
+	// CoreSets, when non-empty, partitions the Cores into heterogeneous
+	// sets (big.LITTLE frequency/IPC scaling, multi-socket placement); the
+	// set counts must sum to Cores. Empty (the default) means homogeneous
+	// cores on socket 0, byte-identical to machines built before core sets
+	// existed.
+	CoreSets []CoreSet
 	// Quantum is the simulation step.
 	Quantum time.Duration
 	// Cache configures the LLC.
@@ -157,6 +188,21 @@ type Machine struct {
 	// core, for Fig. 12.
 	freqResidency [][]time.Duration
 
+	// Per-core heterogeneity, expanded from Config.CoreSets. For
+	// homogeneous machines every ladder entry aliases cfg.FreqLevelsGHz
+	// and every cpiScale is exactly 1, so reads are bit-identical to the
+	// pre-CoreSet code.
+	ladder     [][]float64 // effective GHz per core per level index
+	cpiScale   []float64   // BaseCPI multiplier per core (1/IPCScale)
+	coreSocket []int       // memory socket per core
+
+	// multiSocket selects the per-socket solver; scratchSockDemand,
+	// scratchSockLat and scratchSockU are its reused buffers.
+	multiSocket       bool
+	scratchSockDemand []float64
+	scratchSockLat    []float64
+	scratchSockU      []float64
+
 	lastUtilization float64
 	rng             *sim.Rand
 
@@ -177,14 +223,14 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("machine: core count %d must be positive", cfg.Cores)
 	}
 	if len(cfg.FreqLevelsGHz) == 0 {
-		return nil, fmt.Errorf("machine: no frequency levels")
+		return nil, errors.New("machine: no frequency levels")
 	}
 	for i, f := range cfg.FreqLevelsGHz {
 		if f <= 0 {
 			return nil, fmt.Errorf("machine: frequency level %d (%g GHz) must be positive", i, f)
 		}
 		if i > 0 && f <= cfg.FreqLevelsGHz[i-1] {
-			return nil, fmt.Errorf("machine: frequency levels must be strictly ascending")
+			return nil, errors.New("machine: frequency levels must be strictly ascending")
 		}
 	}
 	clock, err := sim.NewClock(cfg.Quantum)
@@ -203,6 +249,28 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	sockets := memory.NumSockets()
+	if len(cfg.CoreSets) > 0 {
+		total := 0
+		for i, cs := range cfg.CoreSets {
+			if cs.Count <= 0 {
+				return nil, fmt.Errorf("machine: core set %d count %d must be positive", i, cs.Count)
+			}
+			if cs.FreqScale < 0 {
+				return nil, fmt.Errorf("machine: core set %d frequency scale %g must be positive", i, cs.FreqScale)
+			}
+			if cs.IPCScale < 0 {
+				return nil, fmt.Errorf("machine: core set %d IPC scale %g must be positive", i, cs.IPCScale)
+			}
+			if cs.Socket < 0 || cs.Socket >= sockets {
+				return nil, fmt.Errorf("machine: core set %d socket %d out of range [0,%d)", i, cs.Socket, sockets)
+			}
+			total += cs.Count
+		}
+		if total != cfg.Cores {
+			return nil, fmt.Errorf("machine: core sets cover %d cores, config has %d", total, cfg.Cores)
+		}
+	}
 	m := &Machine{
 		cfg:           cfg,
 		clock:         clock,
@@ -215,10 +283,46 @@ func New(cfg Config) (*Machine, error) {
 		nextID:        1,
 		overheadOwed:  make([]time.Duration, cfg.Cores),
 		freqResidency: make([][]time.Duration, cfg.Cores),
+		ladder:        make([][]float64, cfg.Cores),
+		cpiScale:      make([]float64, cfg.Cores),
+		coreSocket:    make([]int, cfg.Cores),
+		multiSocket:   sockets > 1,
 		rng:           sim.NewRand(cfg.Seed),
 		rec:           telemetry.Nop(),
 		scratchInstr:  make([]float64, cfg.Cores),
 		scratchJitter: make([]float64, cfg.Cores),
+	}
+	// Expand core sets into per-core ladders, CPI scaling, and socket
+	// placement. The homogeneous default aliases the shared level grid so
+	// the hot path loads exactly the configured floats.
+	for c := 0; c < cfg.Cores; c++ {
+		m.ladder[c] = cfg.FreqLevelsGHz
+		m.cpiScale[c] = 1
+	}
+	core := 0
+	for _, cs := range cfg.CoreSets {
+		lad := cfg.FreqLevelsGHz
+		if cs.FreqScale != 0 && cs.FreqScale != 1 {
+			lad = make([]float64, len(cfg.FreqLevelsGHz))
+			for i, f := range cfg.FreqLevelsGHz {
+				lad[i] = f * cs.FreqScale
+			}
+		}
+		scale := 1.0
+		if cs.IPCScale != 0 {
+			scale = 1 / cs.IPCScale
+		}
+		for k := 0; k < cs.Count; k++ {
+			m.ladder[core] = lad
+			m.cpiScale[core] = scale
+			m.coreSocket[core] = cs.Socket
+			core++
+		}
+	}
+	if m.multiSocket {
+		m.scratchSockDemand = make([]float64, sockets)
+		m.scratchSockLat = make([]float64, sockets)
+		m.scratchSockU = make([]float64, sockets)
 	}
 	// Cores start at maximum frequency.
 	top := len(cfg.FreqLevelsGHz) - 1
@@ -295,7 +399,7 @@ func (m *Machine) Launch(name string, prog *workload.Program, core int, class ca
 		return 0, fmt.Errorf("machine: core %d already runs task %d", core, m.coreTask[core].id)
 	}
 	if prog == nil {
-		return 0, fmt.Errorf("machine: nil program")
+		return 0, errors.New("machine: nil program")
 	}
 	id := m.nextID
 	if err := m.llc.Register(id, class); err != nil {
@@ -340,7 +444,7 @@ func (m *Machine) SetProgram(taskID int, prog *workload.Program) error {
 		return fmt.Errorf("machine: unknown task %d", taskID)
 	}
 	if prog == nil {
-		return fmt.Errorf("machine: nil program")
+		return errors.New("machine: nil program")
 	}
 	t.program = prog
 	if m.rec.Enabled(telemetry.KindTaskSwitch) {
@@ -516,17 +620,37 @@ func (m *Machine) FreqLevel(core int) (int, error) {
 	return m.coreFreq[core], nil
 }
 
-// FreqGHz returns a core's current frequency in GHz.
+// FreqGHz returns a core's current effective frequency in GHz (the shared
+// level grid scaled by the core's set, for heterogeneous classes).
 func (m *Machine) FreqGHz(core int) (float64, error) {
 	l, err := m.FreqLevel(core)
 	if err != nil {
 		return 0, err
 	}
-	return m.cfg.FreqLevelsGHz[l], nil
+	return m.ladder[core][l], nil
 }
 
-// MaxFreqLevel returns the index of the highest operating point.
+// MaxFreqLevel returns the index of the highest operating point. Level
+// indices are shared across cores even on heterogeneous machines; only the
+// realized clock differs per core set.
 func (m *Machine) MaxFreqLevel() int { return len(m.cfg.FreqLevelsGHz) - 1 }
+
+// CoreMaxFreqGHz returns the effective frequency of a core's top operating
+// point — the per-core nominal clock controllers normalize against.
+func (m *Machine) CoreMaxFreqGHz(core int) (float64, error) {
+	if err := m.checkCore(core); err != nil {
+		return 0, err
+	}
+	return m.ladder[core][len(m.cfg.FreqLevelsGHz)-1], nil
+}
+
+// CoreSocket returns the memory socket a core's traffic contends on.
+func (m *Machine) CoreSocket(core int) (int, error) {
+	if err := m.checkCore(core); err != nil {
+		return 0, err
+	}
+	return m.coreSocket[core], nil
+}
 
 // FreqResidency returns the cumulative time core has spent at each
 // frequency level (indexed by level), for Fig. 12.
@@ -606,38 +730,54 @@ func (m *Machine) Step() []Completion {
 		}
 	}
 
-	// Damped fixed point over memory utilization.
-	u := m.lastUtilization
-	latNs := 0.0
-	for iter := 0; iter < solverIterations; iter++ {
-		latNs = float64(m.memory.Latency(u).Nanoseconds())
-		if latNs <= 0 {
-			// Sub-nanosecond idle latency configs still need a positive
-			// value; fall back to the float form.
-			latNs = m.memory.LatencyStretch(u) * float64(m.memory.Config().IdleLatency) / float64(time.Nanosecond)
-		}
-		demand := 0.0
-		for c := 0; c < m.cfg.Cores; c++ {
-			t := m.coreTask[c]
-			m.scratchInstr[c] = 0
-			if t == nil || t.paused || effSec[c] <= 0 {
-				continue
+	// Damped fixed point over memory utilization. Multi-socket machines
+	// solve one utilization per socket (each core sees its own socket's
+	// latency); the single-pool branch below is the original solver,
+	// untouched so homogeneous machines stay byte-identical.
+	if m.multiSocket {
+		m.solveSockets(effSec, dt)
+	} else {
+		u := m.lastUtilization
+		latNs := 0.0
+		for iter := 0; iter < solverIterations; iter++ {
+			latNs = float64(m.memory.Latency(u).Nanoseconds())
+			if latNs <= 0 {
+				// Sub-nanosecond idle latency configs still need a positive
+				// value; fall back to the float form.
+				latNs = m.memory.LatencyStretch(u) * float64(m.memory.Config().IdleLatency) / float64(time.Nanosecond)
 			}
-			ph := t.program.Phase()
-			f := m.cfg.FreqLevelsGHz[m.coreFreq[c]]
-			hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
-			missPerInstr := ph.APKI / 1000 * (1 - hit)
-			cpi := ph.BaseCPI*m.scratchJitter[c] + missPerInstr*latNs*f/ph.EffectiveMLP()
-			instr := f * 1e9 * effSec[c] / cpi
-			m.scratchInstr[c] = instr
-			demand += instr * missPerInstr * BytesPerMiss
+			demand := 0.0
+			for c := 0; c < m.cfg.Cores; c++ {
+				t := m.coreTask[c]
+				m.scratchInstr[c] = 0
+				if t == nil || t.paused || effSec[c] <= 0 {
+					continue
+				}
+				ph := t.program.Phase()
+				f := m.ladder[c][m.coreFreq[c]]
+				hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
+				missPerInstr := ph.APKI / 1000 * (1 - hit)
+				base := ph.BaseCPI
+				if s := m.cpiScale[c]; s != 1 {
+					base *= s
+				}
+				cpi := base*m.scratchJitter[c] + missPerInstr*latNs*f/ph.EffectiveMLP()
+				instr := f * 1e9 * effSec[c] / cpi
+				m.scratchInstr[c] = instr
+				demand += instr * missPerInstr * BytesPerMiss
+			}
+			uNew := m.memory.Utilization(demand, dt)
+			u = 0.5*u + 0.5*uNew
 		}
-		uNew := m.memory.Utilization(demand, dt)
-		u = 0.5*u + 0.5*uNew
 	}
 
 	// Commit: counters, cache occupancy, memory stats, program progress.
 	m.scratchTraffic = m.scratchTraffic[:0]
+	if m.multiSocket {
+		for s := range m.scratchSockDemand {
+			m.scratchSockDemand[s] = 0
+		}
+	}
 	demand := 0.0
 	totInstr, totMisses := 0.0, 0.0
 	var completions []Completion
@@ -648,12 +788,15 @@ func (m *Machine) Step() []Completion {
 		}
 		instr := m.scratchInstr[c]
 		ph := t.program.Phase()
-		f := m.cfg.FreqLevelsGHz[m.coreFreq[c]]
+		f := m.ladder[c][m.coreFreq[c]]
 		hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
 		accesses := instr * ph.APKI / 1000
 		missRate := 1 - hit
 		misses := accesses * missRate
 		demand += misses * BytesPerMiss
+		if m.multiSocket {
+			m.scratchSockDemand[m.coreSocket[c]] += misses * BytesPerMiss
+		}
 		totInstr += instr
 		totMisses += misses
 
@@ -676,7 +819,11 @@ func (m *Machine) Step() []Completion {
 		}
 	}
 	m.llc.Apply(dt, m.scratchTraffic)
-	m.memory.Apply(demand, dt)
+	if m.multiSocket {
+		m.memory.ApplySockets(m.scratchSockDemand, dt)
+	} else {
+		m.memory.Apply(demand, dt)
+	}
 	m.lastUtilization = m.memory.LastUtilization()
 	if m.rec.Enabled(telemetry.KindQuantumStep) {
 		m.rec.Record(telemetry.Event{
@@ -689,6 +836,48 @@ func (m *Machine) Step() []Completion {
 		})
 	}
 	return completions
+}
+
+// solveSockets is the multi-socket variant of Step's damped fixed point:
+// one utilization per socket, each core charged its own socket's latency
+// and its miss traffic accumulated against its own socket's pool.
+func (m *Machine) solveSockets(effSec []float64, dt time.Duration) {
+	us, lat, dem := m.scratchSockU, m.scratchSockLat, m.scratchSockDemand
+	for s := range us {
+		us[s] = m.memory.LastSocketUtilization(s)
+	}
+	for iter := 0; iter < solverIterations; iter++ {
+		for s := range us {
+			l := float64(m.memory.Latency(us[s]).Nanoseconds())
+			if l <= 0 {
+				l = m.memory.LatencyStretch(us[s]) * float64(m.memory.Config().IdleLatency) / float64(time.Nanosecond)
+			}
+			lat[s] = l
+			dem[s] = 0
+		}
+		for c := 0; c < m.cfg.Cores; c++ {
+			t := m.coreTask[c]
+			m.scratchInstr[c] = 0
+			if t == nil || t.paused || effSec[c] <= 0 {
+				continue
+			}
+			ph := t.program.Phase()
+			f := m.ladder[c][m.coreFreq[c]]
+			hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
+			missPerInstr := ph.APKI / 1000 * (1 - hit)
+			base := ph.BaseCPI
+			if s := m.cpiScale[c]; s != 1 {
+				base *= s
+			}
+			cpi := base*m.scratchJitter[c] + missPerInstr*lat[m.coreSocket[c]]*f/ph.EffectiveMLP()
+			instr := f * 1e9 * effSec[c] / cpi
+			m.scratchInstr[c] = instr
+			dem[m.coreSocket[c]] += instr * missPerInstr * BytesPerMiss
+		}
+		for s := range us {
+			us[s] = 0.5*us[s] + 0.5*m.memory.UtilizationOn(s, dem[s], dt)
+		}
+	}
 }
 
 // Run advances the machine until the given simulated time, invoking onStep

@@ -1,5 +1,6 @@
 // Package mem models the main-memory system of the simulated machine: a
-// fixed peak bandwidth shared by all cores, with access latency that
+// fixed peak bandwidth shared by all cores — or, for multi-socket machine
+// classes, one bandwidth pool per socket — with access latency that
 // stretches as utilization approaches saturation.
 //
 // This is the coupling channel through which background tasks hurt
@@ -16,6 +17,13 @@ import (
 	"time"
 )
 
+// Socket describes one memory controller of a multi-socket machine: a
+// bandwidth pool contended only by the cores attached to that socket.
+type Socket struct {
+	// PeakBandwidth is the socket's sustainable bandwidth in bytes/second.
+	PeakBandwidth float64
+}
+
 // Config describes the memory system.
 type Config struct {
 	// PeakBandwidth is the sustainable bandwidth in bytes/second. The
@@ -28,6 +36,12 @@ type Config struct {
 	// MaxStretch caps the queueing multiplier so a saturated quantum
 	// degrades throughput smoothly instead of dividing by zero.
 	MaxStretch float64
+	// Sockets, when non-empty, splits the machine into per-socket bandwidth
+	// pools: traffic from a socket's cores contends only against that
+	// socket's PeakBandwidth (IdleLatency and MaxStretch stay shared).
+	// Empty (the default) keeps the single shared pool above, byte-identical
+	// to machines built before multi-socket support existed.
+	Sockets []Socket
 }
 
 // DefaultConfig mirrors the paper's platform: 4×DDR4-2133 with ~22 GB/s
@@ -44,9 +58,12 @@ func DefaultConfig() Config {
 type Memory struct {
 	cfg Config
 
-	// utilization of the last applied quantum, for observability.
+	// utilization of the last applied quantum, for observability. With
+	// multiple sockets lastUtilization tracks the bottleneck (max) socket
+	// and lastSocketUtil holds the per-socket values.
 	lastUtilization float64
 	lastStretch     float64
+	lastSocketUtil  []float64
 	totalBytes      float64 // lifetime traffic, for counters
 }
 
@@ -61,7 +78,16 @@ func New(cfg Config) (*Memory, error) {
 	if cfg.MaxStretch < 1 {
 		return nil, fmt.Errorf("mem: max stretch %g must be >= 1", cfg.MaxStretch)
 	}
-	return &Memory{cfg: cfg, lastStretch: 1}, nil
+	for i, s := range cfg.Sockets {
+		if s.PeakBandwidth <= 0 {
+			return nil, fmt.Errorf("mem: socket %d peak bandwidth %g must be positive", i, s.PeakBandwidth)
+		}
+	}
+	m := &Memory{cfg: cfg, lastStretch: 1}
+	if len(cfg.Sockets) > 0 {
+		m.lastSocketUtil = make([]float64, len(cfg.Sockets))
+	}
+	return m, nil
 }
 
 // MustNew is New that panics on invalid configuration.
@@ -121,6 +147,63 @@ func (m *Memory) Apply(demandBytes float64, dt time.Duration) {
 	m.totalBytes += demandBytes
 }
 
+// NumSockets returns the number of independent bandwidth pools: 1 for the
+// classic shared-pool configuration, len(Sockets) otherwise.
+func (m *Memory) NumSockets() int {
+	if len(m.cfg.Sockets) == 0 {
+		return 1
+	}
+	return len(m.cfg.Sockets)
+}
+
+// SocketPeakBandwidth returns socket i's bandwidth pool in bytes/second.
+// For the shared-pool configuration socket 0 is the shared pool.
+func (m *Memory) SocketPeakBandwidth(i int) float64 {
+	if len(m.cfg.Sockets) == 0 {
+		return m.cfg.PeakBandwidth
+	}
+	return m.cfg.Sockets[i].PeakBandwidth
+}
+
+// UtilizationOn converts a demand in bytes over a quantum dt on socket i
+// into a utilization fraction of that socket's bandwidth. Like Utilization,
+// values above 1 are meaningful to the solver and not clamped.
+func (m *Memory) UtilizationOn(socket int, demandBytes float64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return demandBytes / (m.SocketPeakBandwidth(socket) * dt.Seconds())
+}
+
+// ApplySockets records the final per-socket traffic of a quantum (after the
+// machine's fixed point converged). demands must have NumSockets entries.
+// The headline LastUtilization/LastStretch track the bottleneck socket.
+func (m *Memory) ApplySockets(demands []float64, dt time.Duration) {
+	maxU, total := 0.0, 0.0
+	for s, d := range demands {
+		u := m.UtilizationOn(s, d, dt)
+		if m.lastSocketUtil != nil {
+			m.lastSocketUtil[s] = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+		total += d
+	}
+	m.lastUtilization = maxU
+	m.lastStretch = m.LatencyStretch(maxU)
+	m.totalBytes += total
+}
+
+// LastSocketUtilization returns socket i's utilization of the most recent
+// quantum (equal to LastUtilization for the shared-pool configuration).
+func (m *Memory) LastSocketUtilization(i int) float64 {
+	if m.lastSocketUtil == nil {
+		return m.lastUtilization
+	}
+	return m.lastSocketUtil[i]
+}
+
 // LastUtilization returns the utilization of the most recent quantum.
 func (m *Memory) LastUtilization() float64 { return m.lastUtilization }
 
@@ -135,4 +218,7 @@ func (m *Memory) Reset() {
 	m.lastUtilization = 0
 	m.lastStretch = 1
 	m.totalBytes = 0
+	for i := range m.lastSocketUtil {
+		m.lastSocketUtil[i] = 0
+	}
 }

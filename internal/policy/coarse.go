@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 
 	"dirigent/internal/cache"
@@ -117,10 +118,10 @@ type CoarseController struct {
 // partition.
 func NewCoarseController(llc *cache.LLC, fgClass, bgClass cache.ClassID, cfg CoarseConfig) (*CoarseController, error) {
 	if llc == nil {
-		return nil, fmt.Errorf("policy: nil LLC")
+		return nil, errors.New("policy: nil LLC")
 	}
 	if fgClass == bgClass {
-		return nil, fmt.Errorf("policy: FG and BG must use distinct partition classes")
+		return nil, errors.New("policy: FG and BG must use distinct partition classes")
 	}
 	cfg = cfg.withDefaults(llc.Ways())
 	if cfg.MinFGWays < 1 || cfg.MaxFGWays > llc.Ways()-1 || cfg.MinFGWays > cfg.MaxFGWays {

@@ -81,18 +81,27 @@ func slackBudget(targets []time.Duration, profiles []StreamProfile) float64 {
 // slack admits fast BG and little isolation, tight slack floors BG and
 // reserves a large FG partition.
 func (c *CORDLike) decompose(budget float64) {
-	grades := DefaultGrades()
+	// The grade set adapts to the machine's ladder (the paper's nine-level
+	// ladder yields DefaultGrades); shorter ladders have fewer grades, so
+	// clamp the chosen rung.
+	grades := GradesForLevels(c.m.MaxFreqLevel() + 1)
+	rung := func(i int) int {
+		if i >= len(grades) {
+			i = len(grades) - 1
+		}
+		return grades[i]
+	}
 	switch {
 	case budget >= 0.35:
-		c.bgLevel = grades[4]
+		c.bgLevel = rung(4)
 	case budget >= 0.25:
-		c.bgLevel = grades[3]
+		c.bgLevel = rung(3)
 	case budget >= 0.15:
-		c.bgLevel = grades[2]
+		c.bgLevel = rung(2)
 	case budget >= 0.08:
-		c.bgLevel = grades[1]
+		c.bgLevel = rung(1)
 	default:
-		c.bgLevel = grades[0]
+		c.bgLevel = rung(0)
 	}
 	if c.llc != nil {
 		ways := c.llc.Ways()
@@ -118,10 +127,10 @@ func (c *CORDLike) decompose(budget float64) {
 // exists — the static way split, reported as an initial partition move.
 func (c *CORDLike) Init(b Binding) error {
 	if b.Machine == nil {
-		return fmt.Errorf("policy: cordlike needs a machine")
+		return errors.New("policy: cordlike needs a machine")
 	}
 	if len(b.FGTasks) == 0 {
-		return fmt.Errorf("policy: cordlike needs at least one FG task")
+		return errors.New("policy: cordlike needs at least one FG task")
 	}
 	c.m = b.Machine
 	c.rec = telemetry.OrNop(b.Recorder)
@@ -132,7 +141,7 @@ func (c *CORDLike) Init(b Binding) error {
 	c.llc = b.LLC
 	c.fgClass, c.bgClass = b.FGClass, b.BGClass
 	if c.llc != nil && c.fgClass == c.bgClass {
-		return fmt.Errorf("policy: cordlike partitioning needs distinct FG/BG classes")
+		return errors.New("policy: cordlike partitioning needs distinct FG/BG classes")
 	}
 
 	c.decompose(slackBudget(b.Targets, b.Profiles))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dirigent/internal/cache"
+	"dirigent/internal/machine"
 )
 
 func TestSlackBudget(t *testing.T) {
@@ -58,8 +59,9 @@ func TestCORDLikeDecomposeMapping(t *testing.T) {
 		{0.10, grades[1], 10}, // 20/2
 		{0.05, grades[0], 10}, // tight: floored BG, half the cache
 	}
+	m := machine.MustNew(machine.DefaultConfig())
 	for _, c := range cases {
-		p := &CORDLike{llc: llc}
+		p := &CORDLike{llc: llc, m: m}
 		p.decompose(c.budget)
 		if p.bgLevel != c.wantBGLevel {
 			t.Errorf("budget %.2f: bgLevel = %d, want %d", c.budget, p.bgLevel, c.wantBGLevel)

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 
 	"dirigent/internal/sim"
@@ -50,7 +51,7 @@ func (d *Dirigent) Init(b Binding) error {
 
 	if d.opts.Partitioning {
 		if b.LLC == nil {
-			return fmt.Errorf("policy: dirigent partitioning needs an LLC binding")
+			return errors.New("policy: dirigent partitioning needs an LLC binding")
 		}
 		ccfg := d.opts.Coarse
 		if ccfg.Recorder == nil {

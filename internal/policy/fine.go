@@ -48,6 +48,28 @@ const (
 // level table.
 func DefaultGrades() []int { return []int{0, 2, 4, 6, 8} }
 
+// GradesForLevels generalizes DefaultGrades to an arbitrary DVFS ladder:
+// up to five equi-spaced level indices spanning [0, levels-1]. Ladders
+// with five or fewer levels use every level; the paper's nine-level ladder
+// reproduces DefaultGrades exactly.
+func GradesForLevels(levels int) []int {
+	if levels <= 0 {
+		return nil
+	}
+	if levels <= 5 {
+		g := make([]int, levels)
+		for i := range g {
+			g[i] = i
+		}
+		return g
+	}
+	g := make([]int, 5)
+	for i := range g {
+		g[i] = i * (levels - 1) / 4
+	}
+	return g
+}
+
 // FGStatus is the fine controller's per-stream input at a decision point.
 type FGStatus struct {
 	// Predicted is the predicted completion time of the in-flight
@@ -155,7 +177,7 @@ type FineController struct {
 // machine's frequency levels must include every grade.
 func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []int, cfg FineConfig) (*FineController, error) {
 	if m == nil {
-		return nil, fmt.Errorf("policy: nil machine")
+		return nil, errors.New("policy: nil machine")
 	}
 	if len(fgTasks) == 0 || len(fgTasks) != len(fgCores) {
 		return nil, fmt.Errorf("policy: FG task/core lists invalid (%d tasks, %d cores)", len(fgTasks), len(fgCores))
@@ -163,13 +185,20 @@ func NewFineController(m *machine.Machine, fgTasks, fgCores, bgTasks, bgCores []
 	if len(bgTasks) != len(bgCores) {
 		return nil, fmt.Errorf("policy: BG task/core lists invalid (%d tasks, %d cores)", len(bgTasks), len(bgCores))
 	}
+	// Default grades adapt to the machine's ladder here, where the ladder
+	// is known (withDefaults has no machine and keeps the nine-level
+	// default for compatibility). On the paper's platform both paths
+	// produce {0,2,4,6,8}.
+	if len(cfg.Grades) == 0 {
+		cfg.Grades = GradesForLevels(m.MaxFreqLevel() + 1)
+	}
 	cfg = cfg.withDefaults()
 	for i, g := range cfg.Grades {
 		if g < 0 || g > m.MaxFreqLevel() {
 			return nil, fmt.Errorf("policy: grade %d (level %d) outside machine levels", i, g)
 		}
 		if i > 0 && g <= cfg.Grades[i-1] {
-			return nil, fmt.Errorf("policy: grades must be strictly ascending")
+			return nil, errors.New("policy: grades must be strictly ascending")
 		}
 	}
 	fc := &FineController{

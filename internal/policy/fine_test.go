@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -390,5 +391,66 @@ func TestZeroTargetSlack(t *testing.T) {
 	s := FGStatus{Predicted: 100, Deadline: 200, Target: 0}
 	if s.slack() != 0 {
 		t.Errorf("slack with zero target = %g, want 0", s.slack())
+	}
+}
+
+func TestGradesForLevels(t *testing.T) {
+	cases := []struct {
+		levels int
+		want   []int
+	}{
+		{9, []int{0, 2, 4, 6, 8}}, // the paper's ladder == DefaultGrades
+		{5, []int{0, 1, 2, 3, 4}},
+		{4, []int{0, 1, 2, 3}},
+		{1, []int{0}},
+		{7, []int{0, 1, 3, 4, 6}},
+		{13, []int{0, 3, 6, 9, 12}},
+		{0, nil},
+	}
+	for _, c := range cases {
+		got := GradesForLevels(c.levels)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("GradesForLevels(%d) = %v, want %v", c.levels, got, c.want)
+		}
+		// Grades must be valid, strictly ascending level indices ending at
+		// the top level so controllers can always boost to max.
+		if c.levels > 0 {
+			if got[len(got)-1] != c.levels-1 {
+				t.Errorf("GradesForLevels(%d) top grade %d != top level", c.levels, got[len(got)-1])
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Errorf("GradesForLevels(%d) not strictly ascending: %v", c.levels, got)
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(GradesForLevels(9), DefaultGrades()) {
+		t.Fatal("nine-level grades must reproduce DefaultGrades")
+	}
+}
+
+// TestFineControllerShortLadder builds the fine controller on a 5-level
+// ladder machine (the quad-low class shape) and checks default grades adapt
+// instead of rejecting the machine.
+func TestFineControllerShortLadder(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 4
+	cfg.FreqLevelsGHz = []float64{1.0, 1.2, 1.4, 1.6, 1.8}
+	m := machine.MustNew(cfg)
+	fg, err := m.Launch("fg", workload.MustProgram(workload.MustByName("ferret")), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := m.Launch("bg", workload.MustProgram(workload.MustByName("rs")), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFineController(m, []int{fg}, []int{0}, []int{bg}, []int{1}, FineConfig{})
+	if err != nil {
+		t.Fatalf("five-level ladder rejected: %v", err)
+	}
+	if got, want := fc.cfg.Grades, []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("grades = %v, want %v", got, want)
 	}
 }

@@ -56,10 +56,10 @@ func (g *RTGang) Capabilities() Capabilities {
 // tolerated — Tick re-asserts the invariant until it sticks.
 func (g *RTGang) Init(b Binding) error {
 	if b.Machine == nil {
-		return fmt.Errorf("policy: rtgang needs a machine")
+		return errors.New("policy: rtgang needs a machine")
 	}
 	if len(b.FGTasks) == 0 {
-		return fmt.Errorf("policy: rtgang needs at least one FG task")
+		return errors.New("policy: rtgang needs at least one FG task")
 	}
 	g.m = b.Machine
 	g.rec = telemetry.OrNop(b.Recorder)

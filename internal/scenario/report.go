@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// RenderText renders the suite result as an aligned terminal table.
+func RenderText(sr *SuiteResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-12s %-9s %-8s %8s %8s %9s  goals\n",
+		"scenario", "class", "policy", "outcome", "qos", "bg-tput", "tail-p95")
+	for _, r := range sr.Results {
+		outcome := "pass"
+		if !r.Pass {
+			outcome = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-34s %-12s %-9s %-8s %8.3f %8.3f %8.4fs  %s\n",
+			r.Name, r.MachineClass, r.Policy, outcome,
+			r.QoSSuccess, r.BGThroughput, r.TailLatencyS, goalSummary(r))
+	}
+	if sr.Pass {
+		fmt.Fprintf(&b, "%d scenarios, all goals met\n", len(sr.Results))
+	} else {
+		fmt.Fprintf(&b, "%d scenarios, FAILED: %s\n", len(sr.Results), strings.Join(sr.Failed(), ", "))
+	}
+	return b.String()
+}
+
+// RenderMarkdown renders the suite result as a GitHub-flavoured table (for
+// $GITHUB_STEP_SUMMARY).
+func RenderMarkdown(sr *SuiteResult) string {
+	var b strings.Builder
+	b.WriteString("## Scenario suite\n\n")
+	b.WriteString("| scenario | class | policy | outcome | QoS success | BG throughput | tail P95 | goals |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range sr.Results {
+		outcome := "✅ pass"
+		if !r.Pass {
+			outcome = "❌ fail"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %.4fs | %s |\n",
+			r.Name, r.MachineClass, r.Policy, outcome,
+			r.QoSSuccess, r.BGThroughput, r.TailLatencyS, goalSummary(r))
+	}
+	if sr.Pass {
+		fmt.Fprintf(&b, "\n**%d scenarios, all goals met.**\n", len(sr.Results))
+	} else {
+		fmt.Fprintf(&b, "\n**%d scenarios; failed: %s.**\n", len(sr.Results), strings.Join(sr.Failed(), ", "))
+	}
+	return b.String()
+}
+
+// RenderJSON renders the suite result as indented JSON.
+func RenderJSON(sr *SuiteResult) (string, error) {
+	out, err := json.MarshalIndent(sr, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("scenario: encode report: %w", err)
+	}
+	return string(out) + "\n", nil
+}
+
+// goalSummary compresses a scenario's goal results into one cell:
+// "min_qos_success 0.933>=0.90 ok; ...".
+func goalSummary(r Result) string {
+	parts := make([]string, 0, len(r.Goals))
+	for _, g := range r.Goals {
+		state := "ok"
+		if !g.Pass {
+			state = "VIOLATED"
+		}
+		parts = append(parts, fmt.Sprintf("%s %.3f%s%.3f %s", g.Name, g.Value, g.Op, g.Threshold, state))
+	}
+	return strings.Join(parts, "; ")
+}

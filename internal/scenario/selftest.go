@@ -1,0 +1,41 @@
+package scenario
+
+import "fmt"
+
+// selfTestSpec is a deliberately small scenario used by SelfTest: short
+// runs on the default class under the dirigent policy.
+func selfTestSpec(goals GoalSpec) Spec {
+	return Spec{
+		Name:         "selftest-ferret-rs",
+		Description:  "injected-failure selftest scenario",
+		MachineClass: "xeon-e5",
+		Mix:          MixSpec{FG: []string{"ferret"}, BG: []string{"rs"}},
+		Policy:       "dirigent",
+		Executions:   10,
+		Warmup:       2,
+		Goals:        goals,
+	}
+}
+
+// SelfTest proves the scenario gate can fail: it runs a small scenario
+// twice — once with sane goals that must pass, once with an impossible
+// tail-latency goal (1 µs) that must be reported as a violation. An error
+// means the gate is broken: either a healthy scenario fails or an injected
+// violation goes undetected.
+func SelfTest() error {
+	ok, err := RunSpec(selfTestSpec(GoalSpec{MinQoSSuccess: 0.5}))
+	if err != nil {
+		return fmt.Errorf("scenario selftest: healthy run: %w", err)
+	}
+	if !ok.Pass {
+		return fmt.Errorf("scenario selftest: healthy scenario failed its goals: %+v", ok.Goals)
+	}
+	bad, err := RunSpec(selfTestSpec(GoalSpec{MaxTailLatencyS: 1e-6}))
+	if err != nil {
+		return fmt.Errorf("scenario selftest: injected-failure run: %w", err)
+	}
+	if bad.Pass {
+		return fmt.Errorf("scenario selftest: impossible tail-latency goal (1e-6s) not detected (measured %gs)", bad.TailLatencyS)
+	}
+	return nil
+}

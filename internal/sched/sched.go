@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -52,11 +53,11 @@ func (s BGSpec) Name() string {
 func (s BGSpec) Validate() error {
 	switch {
 	case s.Bench != nil && s.IsRotate():
-		return fmt.Errorf("sched: BG spec has both a benchmark and a pair")
+		return errors.New("sched: BG spec has both a benchmark and a pair")
 	case s.Bench == nil && !s.IsRotate():
-		return fmt.Errorf("sched: empty BG spec")
+		return errors.New("sched: empty BG spec")
 	case s.IsRotate() && (s.Pair[0] == nil || s.Pair[1] == nil):
-		return fmt.Errorf("sched: rotate pair must name two benchmarks")
+		return errors.New("sched: rotate pair must name two benchmarks")
 	}
 	return nil
 }
@@ -164,10 +165,10 @@ type Options struct {
 // the paper's alone measurements).
 func New(m *machine.Machine, fg []*workload.Benchmark, bg []BGSpec, opts Options) (*Colocation, error) {
 	if m == nil {
-		return nil, fmt.Errorf("sched: nil machine")
+		return nil, errors.New("sched: nil machine")
 	}
 	if len(fg) == 0 {
-		return nil, fmt.Errorf("sched: at least one FG benchmark required")
+		return nil, errors.New("sched: at least one FG benchmark required")
 	}
 	if len(fg)+len(bg) > m.NumCores() {
 		return nil, fmt.Errorf("sched: %d FG + %d BG tasks exceed %d cores", len(fg), len(bg), m.NumCores())
@@ -274,7 +275,7 @@ func (c *Colocation) freeCore() (int, error) {
 // schedule.
 func (c *Colocation) AdmitFG(b *workload.Benchmark) (int, error) {
 	if b == nil {
-		return 0, fmt.Errorf("sched: nil FG benchmark")
+		return 0, errors.New("sched: nil FG benchmark")
 	}
 	if b.Kind != workload.Foreground {
 		return 0, fmt.Errorf("sched: %s is not a foreground benchmark", b.Name)
@@ -318,7 +319,7 @@ func (c *Colocation) RemoveFG(stream int) error {
 		}
 	}
 	if active == 1 {
-		return fmt.Errorf("sched: cannot remove the last FG stream")
+		return errors.New("sched: cannot remove the last FG stream")
 	}
 	if err := c.m.Kill(f.Task); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"dirigent/internal/sim"
@@ -23,7 +24,7 @@ type Rotator struct {
 // program runs benchmark a.
 func NewRotator(a, b *Benchmark, rng *sim.Rand) (*Rotator, error) {
 	if rng == nil {
-		return nil, fmt.Errorf("workload: rotator requires a random source")
+		return nil, errors.New("workload: rotator requires a random source")
 	}
 	if a.Kind != Background || b.Kind != Background {
 		return nil, fmt.Errorf("workload: rotator benchmarks must be background (%s is %s, %s is %s)",

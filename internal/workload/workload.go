@@ -19,6 +19,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -117,7 +118,7 @@ type Benchmark struct {
 // Validate checks the benchmark definition.
 func (b *Benchmark) Validate() error {
 	if b.Name == "" {
-		return fmt.Errorf("workload: benchmark must have a name")
+		return errors.New("workload: benchmark must have a name")
 	}
 	if len(b.Phases) == 0 {
 		return fmt.Errorf("workload: benchmark %q has no phases", b.Name)

@@ -1,81 +1,82 @@
 #!/usr/bin/env sh
 # Tier-1 verification: everything a change must pass before merging.
 #
-#   scripts/ci.sh          # full: gofmt + vet + build + tests + race detector
-#                          # + package-comment check for internal/*
-#                          # + the shrunk fault-injection (resilience) smoke
-#                          # + the policy-sweep smoke (every QoS policy end to end)
-#                          # + the dirigent-serve API smoke (-selfcheck)
-#   scripts/ci.sh -short   # same legs, but skip the long end-to-end tests
-#   scripts/ci.sh -bench   # additionally run the perf/QoS regression gate
-#                          # (dirigent-ci -check against the latest BENCH_<n>.json)
+#   scripts/ci.sh             # full: gofmt + vet + dirigent-lint + build + tests
+#                             # + race detector
+#                             # + the shrunk fault-injection (resilience) smoke
+#                             # + the policy-sweep smoke (every QoS policy end to end)
+#                             # + the dirigent-serve API smoke (-selfcheck)
+#   scripts/ci.sh -short      # same legs, but skip the long end-to-end tests
+#   scripts/ci.sh -bench      # additionally run the perf/QoS regression gate
+#                             # (dirigent-ci -check against the latest BENCH_<n>.json)
+#   scripts/ci.sh -scenarios  # additionally run the declarative scenario suite
+#                             # (dirigent-ci -scenarios against scenarios/*.json)
 #
-# -short and -bench combine. The race leg covers internal packages only: the
-# root package and cmd/ are thin facades over them and are already exercised
-# race-free by the plain test leg.
+# -short, -bench and -scenarios combine. Each leg reports its elapsed
+# seconds so slow legs are visible in CI logs. The race leg covers internal
+# packages only: the root package and cmd/ are thin facades over them and
+# are already exercised race-free by the plain test leg. The lint leg
+# (cmd/dirigent-lint) subsumes the old package-comment grep and adds the
+# staticcheck-style checks the CI image cannot install.
 set -eu
 cd "$(dirname "$0")/.."
 
 short=""
 bench=false
+scenarios=false
 for arg in "$@"; do
 	case "$arg" in
 	-short) short="-short" ;;
 	-bench) bench=true ;;
+	-scenarios) scenarios=true ;;
 	*)
-		echo "ci: unknown argument: $arg (want -short and/or -bench)" >&2
+		echo "ci: unknown argument: $arg (want -short, -bench and/or -scenarios)" >&2
 		exit 2
 		;;
 	esac
 done
 
-echo "== gofmt -l"
-fmt=$(gofmt -l .)
-if [ -n "$fmt" ]; then
-	echo "ci: files need gofmt:" >&2
-	echo "$fmt" >&2
-	exit 1
-fi
+# leg <label> <cmd...>: run one check, echoing its label and elapsed seconds.
+leg() {
+	_label="$1"
+	shift
+	echo "== $_label"
+	_t0=$(date +%s)
+	"$@"
+	echo "-- $_label: $(($(date +%s) - _t0))s"
+}
 
-echo "== go vet ./..."
-go vet ./...
-
-echo "== go build ./..."
-go build ./...
-
-echo "== go test ./... $short"
-go test $short ./...
-
-echo "== go test -race ./internal/... $short"
-go test -race $short ./internal/...
-
-echo "== package comments for internal/*"
-missing=""
-for d in internal/*/; do
-	# Every internal package must carry a doc comment in the conventional
-	# "// Package <name> ..." form in at least one non-test file.
-	name=$(basename "$d")
-	if ! grep -ls "^// Package $name " "$d"*.go >/dev/null 2>&1; then
-		missing="$missing ./${d%/}"
+gofmt_clean() {
+	_fmt=$(gofmt -l .)
+	if [ -n "$_fmt" ]; then
+		echo "ci: files need gofmt:" >&2
+		echo "$_fmt" >&2
+		exit 1
 	fi
-done
-if [ -n "$missing" ]; then
-	echo "ci: internal packages missing a package comment:$missing" >&2
-	exit 1
-fi
+}
 
-echo "== dirigent-bench -resilience -short (fault-injection smoke)"
-go run ./cmd/dirigent-bench -resilience -short >/dev/null
+run_tests() { go test $short ./...; }
+run_race() { go test -race $short ./internal/...; }
+run_resilience() { go run ./cmd/dirigent-bench -resilience -short >/dev/null; }
+run_policies() { go run ./cmd/dirigent-bench -policies -short >/dev/null; }
+run_serve() { go run ./cmd/dirigent-serve -selfcheck >/dev/null; }
 
-echo "== dirigent-bench -policies -short (policy-sweep smoke)"
-go run ./cmd/dirigent-bench -policies -short >/dev/null
-
-echo "== dirigent-serve -selfcheck (server API smoke)"
-go run ./cmd/dirigent-serve -selfcheck >/dev/null
+leg "gofmt -l" gofmt_clean
+leg "go vet ./..." go vet ./...
+leg "dirigent-lint" go run ./cmd/dirigent-lint
+leg "go build ./..." go build ./...
+leg "go test ./... $short" run_tests
+leg "go test -race ./internal/... $short" run_race
+leg "dirigent-bench -resilience -short (fault-injection smoke)" run_resilience
+leg "dirigent-bench -policies -short (policy-sweep smoke)" run_policies
+leg "dirigent-serve -selfcheck (server API smoke)" run_serve
 
 if $bench; then
-	echo "== dirigent-ci -check"
-	go run ./cmd/dirigent-ci -check
+	leg "dirigent-ci -check" go run ./cmd/dirigent-ci -check
+fi
+
+if $scenarios; then
+	leg "dirigent-ci -scenarios" go run ./cmd/dirigent-ci -scenarios
 fi
 
 echo "ci: all checks passed"
