@@ -76,6 +76,7 @@ func main() {
 			return nil
 		}
 	}
+	//lint:ignore walltime harness progress reporting; the wall clock never feeds results
 	start := time.Now()
 
 	// Mix results are shared between Fig. 9a/10/11/12/headline; compute

@@ -21,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"dirigent/internal/analysis"
 	"dirigent/internal/benchreg"
 	"dirigent/internal/scenario"
 )
@@ -88,6 +90,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("dirigent-ci: selftest ok — the scenario gate reports injected goal violations")
+		logf("running static-analysis selftest")
+		if err := analysis.SelfTest(filepath.Join("internal", "analysis", "testdata")); err != nil {
+			fatal(err)
+		}
+		fmt.Println("dirigent-ci: selftest ok — every lint analyzer catches its seeded fixture violation")
 
 	case *scenarios:
 		specs, err := scenario.LoadDir(*scenarioDir)

@@ -1,225 +1,108 @@
-// Command dirigent-lint is the repo's lint gate. The CI image has no
-// third-party linters, so the staticcheck-style checks we rely on are
-// implemented here on the standard library's go/ast:
+// Command dirigent-lint is the repo's static-analysis gate, a thin CLI
+// over internal/analysis: a stdlib-only driver that type-checks every
+// package in the module and runs nine type-aware analyzers —
 //
-//   - pkgdoc: every package under internal/ carries a "// Package <name>"
-//     doc comment.
-//   - errorsnew: fmt.Errorf with a constant format string and no verbs
-//     should be errors.New (staticcheck's S1028 family).
+//   - pkgdoc: internal packages carry a "// Package <name>" doc comment
+//   - errorsnew: fmt.Errorf with no verbs should be errors.New
 //   - errstyle: error strings must not end in punctuation or a newline
-//     (staticcheck ST1005) — they get wrapped and joined.
-//   - walltime: the simulator is seed-deterministic; time.Now and the
-//     global math/rand source are banned from internal/ packages except
-//     the wall-clock benchmark harness (internal/benchreg).
+//   - walltime: no time.Now / global math/rand (or imports of wall-clock
+//     tainted packages) in seed-deterministic packages
+//   - maprange: map iteration in deterministic packages goes through
+//     sorted keys
+//   - nondetsched: no goroutines, selects or sync.Map in deterministic
+//     packages outside the fan-out allowlist
+//   - errcheck: no silently discarded error returns
+//   - floateq: no ==/!= on floats outside approved comparators
+//   - copylocks: sync types are not passed or assigned by value
+//
+// Deliberate exceptions are annotated in source with
+// "//lint:ignore <check> <reason>".
 //
 // Usage:
 //
-//	dirigent-lint [-root dir]
+//	dirigent-lint [-root dir] [-checks a,b,...] [-json|-md]
+//	dirigent-lint -list
+//	dirigent-lint -selftest
 //
-// Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+// Exit status: 0 when clean, 1 when findings exist (or the selftest
+// fails), 2 on usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
+
+	"dirigent/internal/analysis"
 )
 
-// walltimeAllowed lists internal packages that may read the wall clock:
-// benchreg measures real elapsed time by design.
-var walltimeAllowed = map[string]bool{
-	"internal/benchreg": true,
-}
-
-type finding struct {
-	pos   token.Position
-	check string
-	msg   string
-}
-
 func main() {
-	root := flag.String("root", ".", "module root to lint")
-	flag.Parse()
-	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "dirigent-lint: unexpected arguments; use -root to point at the module")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dirigent-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		root     = fs.String("root", ".", "module root to analyze")
+		checks   = fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+		mdOut    = fs.Bool("md", false, "emit the report as Markdown (CI step summaries)")
+		list     = fs.Bool("list", false, "list the registered analyzers and exit")
+		selftest = fs.Bool("selftest", false, "run the analyzer selftest over internal/analysis/testdata")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "dirigent-lint: unexpected arguments; use -root to point at the module")
+		return 2
 	}
 
-	files, err := goFiles(*root)
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *selftest {
+		if err := analysis.SelfTest(filepath.Join(*root, "internal", "analysis", "testdata")); err != nil {
+			fmt.Fprintln(stderr, "dirigent-lint:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "dirigent-lint: selftest ok — every analyzer fires on its seeded fixture violation and stays quiet elsewhere")
+		return 0
+	}
+
+	selected, err := analysis.ByName(*checks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dirigent-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dirigent-lint:", err)
+		return 2
+	}
+	res, err := analysis.Run(analysis.Options{Root: *root, Checks: selected})
+	if err != nil {
+		fmt.Fprintln(stderr, "dirigent-lint:", err)
+		return 2
 	}
 
-	fset := token.NewFileSet()
-	var findings []finding
-	pkgHasDoc := map[string]bool{} // internal/<pkg> dir -> doc comment seen
-	for _, path := range files {
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	switch {
+	case *jsonOut:
+		s, err := analysis.RenderJSON(res)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dirigent-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "dirigent-lint:", err)
+			return 2
 		}
-		rel, _ := filepath.Rel(*root, path)
-		rel = filepath.ToSlash(rel)
-		dir := filepath.ToSlash(filepath.Dir(rel))
-		internal := strings.HasPrefix(dir, "internal/")
-		test := strings.HasSuffix(rel, "_test.go")
-
-		if internal && !test {
-			if _, seen := pkgHasDoc[dir]; !seen {
-				pkgHasDoc[dir] = false
-			}
-			if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package "+f.Name.Name+" ") {
-				pkgHasDoc[dir] = true
-			}
-		}
-		if test {
-			continue // style checks cover shipped code only
-		}
-		findings = append(findings, lintFile(fset, f, dir, internal)...)
+		fmt.Fprint(stdout, s)
+	case *mdOut:
+		fmt.Fprint(stdout, analysis.RenderMarkdown(res))
+	default:
+		fmt.Fprint(stdout, analysis.RenderText(res))
 	}
-
-	var dirs []string
-	for d, ok := range pkgHasDoc {
-		if !ok {
-			dirs = append(dirs, d)
-		}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(stderr, "dirigent-lint: %d finding(s)\n", len(res.Findings))
+		return 1
 	}
-	sort.Strings(dirs)
-	for _, d := range dirs {
-		findings = append(findings, finding{
-			pos:   token.Position{Filename: d},
-			check: "pkgdoc",
-			msg:   fmt.Sprintf("package %s has no %q doc comment", d, "// Package "+filepath.Base(d)+" ..."),
-		})
-	}
-
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].pos, findings[j].pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		return a.Line < b.Line
-	})
-	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", f.pos, f.check, f.msg)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "dirigent-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
-	fmt.Println("dirigent-lint: clean")
-}
-
-// goFiles walks root for .go files, skipping hidden and vendor-ish
-// directories.
-func goFiles(root string) ([]string, error) {
-	var out []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		name := d.Name()
-		if d.IsDir() {
-			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if strings.HasSuffix(name, ".go") {
-			out = append(out, path)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-func lintFile(fset *token.FileSet, f *ast.File, dir string, internal bool) []finding {
-	var out []finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		pkg, fn := calleeName(call)
-		switch {
-		case pkg == "fmt" && fn == "Errorf":
-			if lit, s := constString(call.Args[0]); lit != nil {
-				if len(call.Args) == 1 && !strings.Contains(s, "%") {
-					out = append(out, finding{fset.Position(call.Pos()), "errorsnew",
-						"fmt.Errorf with no format verbs; use errors.New"})
-				}
-				out = append(out, checkErrString(fset, lit, s)...)
-			}
-		case pkg == "errors" && fn == "New":
-			if lit, s := constString(call.Args[0]); lit != nil {
-				out = append(out, checkErrString(fset, lit, s)...)
-			}
-		case pkg == "time" && fn == "Now":
-			if internal && !walltimeAllowed[dir] {
-				out = append(out, finding{fset.Position(call.Pos()), "walltime",
-					"time.Now in a seed-deterministic package; derive time from the simulation clock"})
-			}
-		case pkg == "rand" && (fn == "Int" || fn == "Intn" || fn == "Float64" || fn == "Int63" || fn == "Uint64" || fn == "Shuffle" || fn == "Perm"):
-			if internal && !walltimeAllowed[dir] {
-				out = append(out, finding{fset.Position(call.Pos()), "walltime",
-					"global math/rand source in a seed-deterministic package; use a seeded *rand.Rand"})
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// calleeName unpacks pkg.Fn(...) calls; method calls on locals return "".
-func calleeName(call *ast.CallExpr) (pkg, fn string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok || id.Obj != nil { // id.Obj != nil means a local variable, not a package
-		return "", ""
-	}
-	return id.Name, sel.Sel.Name
-}
-
-// constString returns the literal and decoded value when the expression is
-// a plain string literal.
-func constString(e ast.Expr) (*ast.BasicLit, string) {
-	lit, ok := e.(*ast.BasicLit)
-	if !ok || lit.Kind != token.STRING {
-		return nil, ""
-	}
-	s, err := strconv.Unquote(lit.Value)
-	if err != nil {
-		return nil, ""
-	}
-	return lit, s
-}
-
-// checkErrString enforces ST1005: error strings are joined into larger
-// messages, so they must not end with punctuation or a newline.
-func checkErrString(fset *token.FileSet, lit *ast.BasicLit, s string) []finding {
-	if s == "" {
-		return nil
-	}
-	if strings.HasSuffix(s, "\n") || strings.ContainsAny(s[len(s)-1:], ".!?") {
-		return []finding{{fset.Position(lit.Pos()), "errstyle",
-			"error string ends with punctuation or a newline"}}
-	}
-	return nil
+	return 0
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"dirigent/internal/analysis"
+)
+
+// runCLI invokes run() capturing both streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestGolden pins the text reporter byte-for-byte over the dirty fixture
+// module: one finding per seeded violation, the suppressed one absent,
+// exit status 1.
+func TestGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-root", "testdata/src")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if stdout != string(want) {
+		t.Errorf("output mismatch:\n--- got\n%s--- want\n%s", stdout, want)
+	}
+	if !strings.Contains(stderr, "4 finding(s)") {
+		t.Errorf("stderr summary = %q", stderr)
+	}
+}
+
+// TestCleanModule exits 0 with the clean banner.
+func TestCleanModule(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-root", "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "clean") {
+		t.Errorf("stdout = %q, want clean banner", stdout)
+	}
+}
+
+// TestJSONOutput must parse and carry the same findings as the golden
+// run.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-root", "testdata/src", "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var res analysis.Result
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(res.Findings) != 4 || res.Suppressed != 1 {
+		t.Errorf("findings = %d (want 4), suppressed = %d (want 1)", len(res.Findings), res.Suppressed)
+	}
+}
+
+// TestMarkdownOutput renders the step-summary table.
+func TestMarkdownOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-root", "testdata/src", "-md")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "| Position | Check | Message |") || !strings.Contains(stdout, "walltime") {
+		t.Errorf("markdown output missing table:\n%s", stdout)
+	}
+}
+
+// TestChecksFlag filters the registry; an unknown name is a usage error
+// (exit 2).
+func TestChecksFlag(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-root", "testdata/src", "-checks", "pkgdoc")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "walltime") || !strings.Contains(stdout, "pkgdoc") {
+		t.Errorf("-checks pkgdoc output:\n%s", stdout)
+	}
+	if code, _, stderr := runCLI(t, "-checks", "bogus"); code != 2 || !strings.Contains(stderr, "unknown check") {
+		t.Errorf("unknown check: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestList names all nine analyzers.
+func TestList(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range analysis.Names() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+	if n := len(analysis.Names()); n != 9 {
+		t.Errorf("registry has %d analyzers, want 9", n)
+	}
+}
+
+// TestUsageErrors: stray arguments exit 2.
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runCLI(t, "stray"); code != 2 || !strings.Contains(stderr, "unexpected arguments") {
+		t.Errorf("stray argument: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -1,0 +1,3 @@
+module lintclean
+
+go 1.22

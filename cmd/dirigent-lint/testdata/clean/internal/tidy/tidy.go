@@ -1,0 +1,7 @@
+// Package tidy is a fully clean fixture package.
+package tidy
+
+import "errors"
+
+// ErrTidy is a well-formed sentinel.
+var ErrTidy = errors.New("tidy sentinel")

@@ -1,0 +1,3 @@
+module lintcli
+
+go 1.22

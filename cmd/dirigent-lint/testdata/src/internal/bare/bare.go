@@ -1,0 +1,4 @@
+package bare
+
+// V is a fixture value.
+var V = 1

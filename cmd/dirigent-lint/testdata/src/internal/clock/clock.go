@@ -1,0 +1,15 @@
+// Package clock violates the walltime ban for the CLI golden test.
+package clock
+
+import "time"
+
+// Now reads the wall clock in a deterministic package.
+func Now() time.Time {
+	return time.Now()
+}
+
+// Honored is suppressed by its directive.
+func Honored() time.Time {
+	//lint:ignore walltime golden-test fixture: sanctioned read
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package errs violates the error-style checks for the CLI golden test.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Static should be errors.New.
+func Static() error {
+	return fmt.Errorf("no verbs here")
+}
+
+// Punct ends its error string with punctuation.
+func Punct() error {
+	return errors.New("bad style.")
+}

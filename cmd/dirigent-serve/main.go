@@ -104,8 +104,8 @@ func runSelfcheck(srv *server.Server) error {
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		hs.Shutdown(ctx)
-		srv.Shutdown(ctx)
+		_ = hs.Shutdown(ctx)
+		_ = srv.Shutdown(ctx)
 	}()
 
 	req := server.CreateTenantRequest{
@@ -123,7 +123,7 @@ func runSelfcheck(srv *server.Server) error {
 		ID string `json:"id"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&created)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		return err
 	}
@@ -173,7 +173,7 @@ func runSelfcheck(srv *server.Server) error {
 	if err != nil {
 		return err
 	}
-	dresp.Body.Close()
+	_ = dresp.Body.Close()
 	if dresp.StatusCode != http.StatusOK {
 		return fmt.Errorf("delete tenant: status %d", dresp.StatusCode)
 	}
@@ -204,7 +204,7 @@ func checkPolicyTenant(base string) error {
 		Error string `json:"error"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&apiErr)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		return err
 	}
@@ -232,7 +232,7 @@ func checkPolicyTenant(base string) error {
 		ID string `json:"id"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&created)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		return err
 	}
@@ -271,7 +271,7 @@ func checkPolicyTenant(base string) error {
 	if err != nil {
 		return err
 	}
-	dresp.Body.Close()
+	_ = dresp.Body.Close()
 	if dresp.StatusCode != http.StatusOK {
 		return fmt.Errorf("delete: status %d", dresp.StatusCode)
 	}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// Root is the module root to analyze (a directory containing go.mod).
+	Root string
+	// Checks selects analyzers; nil/empty runs the full registry.
+	Checks []*Analyzer
+	// Config scopes the determinism checks; nil uses DefaultConfig.
+	Config *Config
+}
+
+// Result is one engine run's outcome.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Finding `json:"findings"`
+	// Packages counts the module packages type-checked and analyzed.
+	Packages int `json:"packages"`
+	// Suppressed counts findings silenced by lint:ignore directives.
+	Suppressed int `json:"suppressed"`
+	// Checks names the analyzers that ran.
+	Checks []string `json:"checks"`
+}
+
+// Run type-checks every package in the module under opts.Root and runs
+// the selected analyzers over each, in import-dependency order so that
+// facts recorded for a package are visible when its importers are
+// analyzed. Findings carrying a matching "//lint:ignore <check> <reason>"
+// directive on their own or the preceding line are suppressed.
+func Run(opts Options) (*Result, error) {
+	checks := opts.Checks
+	if len(checks) == 0 {
+		checks = Analyzers()
+	}
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	root := opts.Root
+	if root == "" {
+		root = "."
+	}
+
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.loadModule(); err != nil {
+		return nil, err
+	}
+
+	facts := newFactStore()
+	var findings []Finding
+	// l.order is a valid topological order: a package's module imports
+	// finish type-checking (and thus analysis below) before it does.
+	for _, pkg := range l.order {
+		for _, a := range checks {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg, facts: facts, findings: &findings}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Dir, err)
+			}
+		}
+	}
+
+	res := &Result{Packages: len(l.order)}
+	for _, a := range checks {
+		res.Checks = append(res.Checks, a.Name)
+	}
+	directives := collectDirectives(l.order)
+	for _, f := range findings {
+		if directives.suppresses(f) {
+			res.Suppressed++
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return res, nil
+}

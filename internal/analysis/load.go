@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package: syntax, type information
+// and resolved module-internal imports.
+type Package struct {
+	Dir   string // module-root-relative, slash-separated; "." for the root
+	Path  string // import path
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Imports holds the module-internal imports, in source order per
+	// file, for fact propagation across the module graph.
+	Imports []*Package
+
+	root string // absolute module root, for position trimming
+}
+
+// relFile turns an absolute position filename into the module-root
+// relative slash path findings use.
+func (p *Package) relFile(abs string) string {
+	if rel, err := filepath.Rel(p.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+// loader type-checks the module under root. Imports resolve recursively
+// from source: module-internal paths against the module tree, everything
+// else against GOROOT/src (with the GOROOT vendor fallback), so the
+// engine needs no compiled export data and no toolchain invocation.
+type loader struct {
+	root    string // absolute module root
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	ctxt    build.Context
+	pkgs    map[string]*types.Package // import path -> checked package
+	loading map[string]bool           // cycle guard
+	modPkgs map[string]*Package       // module dir -> full package
+	order   []*Package                // module packages in completion order
+}
+
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// Cgo files reference the fake "C" package; with cgo off the pure-Go
+	// fallbacks (netgo et al.) are selected instead, which type-check
+	// from source.
+	ctxt.CgoEnabled = false
+	if ctxt.GOROOT == "" {
+		ctxt.GOROOT = runtime.GOROOT()
+	}
+	return &loader{
+		root:    abs,
+		module:  module,
+		fset:    token.NewFileSet(),
+		ctxt:    ctxt,
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+		modPkgs: map[string]*Package{},
+	}, nil
+}
+
+// modulePath reads the module directive from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// loadModule walks the module tree and type-checks every package found,
+// returning them sorted by directory. Test files are excluded: the
+// analyzers cover shipped code only.
+func (l *loader) loadModule() ([]*Package, error) {
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+// packageDirs lists module-root-relative directories containing .go
+// files, skipping hidden, vendor and testdata trees.
+func (l *loader) packageDirs() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(l.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != l.root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") {
+			rel, err := filepath.Rel(l.root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			seen[filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPath maps a module-relative directory to its import path.
+func (l *loader) importPath(dir string) string {
+	if dir == "." {
+		return l.module
+	}
+	return l.module + "/" + dir
+}
+
+// loadDir type-checks the module package in the given relative directory
+// (or returns nil when the directory holds only test files).
+func (l *loader) loadDir(dir string) (*Package, error) {
+	if pkg, ok := l.modPkgs[dir]; ok {
+		return pkg, nil
+	}
+	abs := filepath.Join(l.root, filepath.FromSlash(dir))
+	files, err := l.buildableFiles(abs)
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+
+	path := l.importPath(dir)
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var syntax []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		syntax = append(syntax, parsed)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg := &Package{
+		Dir:   dir,
+		Path:  path,
+		Fset:  l.fset,
+		Files: syntax,
+		Info:  info,
+		root:  l.root,
+	}
+	conf := types.Config{Importer: (*moduleImporter)(l), FakeImportC: true}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	pkg.Name = tpkg.Name()
+	pkg.Types = tpkg
+	l.pkgs[path] = tpkg
+	l.modPkgs[dir] = pkg
+	l.order = append(l.order, pkg)
+
+	for _, f := range syntax {
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			if rel, ok := l.moduleRel(ipath); ok {
+				if dep := l.modPkgs[rel]; dep != nil {
+					pkg.Imports = append(pkg.Imports, dep)
+				}
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// moduleRel maps an import path inside the module to its relative
+// directory.
+func (l *loader) moduleRel(path string) (string, bool) {
+	if path == l.module {
+		return ".", true
+	}
+	if rel, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		return rel, true
+	}
+	return "", false
+}
+
+// buildableFiles selects the non-test .go files of a directory honoring
+// build constraints; a directory with no buildable files yields nil.
+func (l *loader) buildableFiles(abs string) ([]string, error) {
+	bp, err := l.ctxt.ImportDir(abs, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var out []string
+	for _, name := range bp.GoFiles {
+		out = append(out, filepath.Join(abs, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// moduleImporter resolves imports recursively from source. Module-internal
+// paths load through loadDir (strict: type errors fail the run); standard
+// library paths type-check from GOROOT/src leniently, since the goal is
+// type information for the module, not a stdlib audit.
+type moduleImporter loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(m)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		pkg, err := l.loadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("no buildable Go files for %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.loadStdlib(path)
+}
+
+// loadStdlib type-checks one GOROOT package from source, recursing
+// through its imports.
+func (l *loader) loadStdlib(path string) (*types.Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		// GOROOT vendors golang.org/x dependencies of net/http et al.
+		vdir := filepath.Join(l.ctxt.GOROOT, "src", "vendor", filepath.FromSlash(path))
+		if _, verr := os.Stat(vdir); verr != nil {
+			return nil, fmt.Errorf("cannot find package %s in GOROOT", path)
+		}
+		dir = vdir
+	}
+	files, err := l.buildableFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files for %s", path)
+	}
+	var syntax []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.fset, f, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, parsed)
+	}
+	conf := types.Config{
+		Importer:    (*moduleImporter)(l),
+		FakeImportC: true,
+		// The stdlib is trusted: tolerate residual errors (e.g. around
+		// compiler intrinsics) as long as a usable package comes back.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, l.fset, syntax, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg.MarkComplete()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// RenderText formats the result the way go vet does: one "pos: [check]
+// msg" line per finding plus a one-line summary.
+func RenderText(r *Result) string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s: [%s] %s\n", f.Pos(), f.Check, f.Message)
+	}
+	if len(r.Findings) == 0 {
+		fmt.Fprintf(&b, "dirigent-lint: clean (%d packages, %d checks, %d suppressed)\n",
+			r.Packages, len(r.Checks), r.Suppressed)
+	}
+	return b.String()
+}
+
+// RenderJSON emits the full result as indented JSON.
+func RenderJSON(r *Result) (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// RenderMarkdown formats the result as a Markdown report for CI step
+// summaries: a status line plus a findings table when dirty.
+func RenderMarkdown(r *Result) string {
+	var b strings.Builder
+	b.WriteString("### dirigent-lint\n\n")
+	fmt.Fprintf(&b, "%d packages · %d checks (%s) · %d finding(s) · %d suppressed\n\n",
+		r.Packages, len(r.Checks), strings.Join(r.Checks, ", "), len(r.Findings), r.Suppressed)
+	if len(r.Findings) == 0 {
+		b.WriteString("✅ clean\n")
+		return b.String()
+	}
+	b.WriteString("| Position | Check | Message |\n|---|---|---|\n")
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", f.Pos(), f.Check, mdEscape(f.Message))
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string {
+	return strings.NewReplacer("|", "\\|", "\n", " ").Replace(s)
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"math"
+	"strings"
+)
+
+// errcheck: a call whose error result is silently discarded as a bare
+// statement hides failures; check it or discard explicitly with `_ =`.
+// The fmt print family and the never-failing bytes.Buffer /
+// strings.Builder writers are excluded.
+var errcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "silently discarded error returns (outside `_ =`)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+				if !ok { // conversion or builtin
+					return true
+				}
+				if !returnsError(sig) || errcheckExcluded(p, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "error result of %s is silently discarded; check it or assign to _", calleeLabel(p, call))
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// errcheckExcluded holds the callees whose errors are conventionally
+// ignored: fmt's print family (stdout/stderr writes) and the in-memory
+// writers that document a nil error.
+func errcheckExcluded(p *Pass, call *ast.CallExpr) bool {
+	fn := p.Callee(call)
+	if fn == nil {
+		return false
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		switch types.TypeString(recv.Type(), nil) {
+		case "*bytes.Buffer", "*strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+// calleeLabel renders the called expression for the message.
+func calleeLabel(p *Pass, call *ast.CallExpr) string {
+	if fn := p.Callee(call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}
+
+// floateq: == and != on floating-point operands are exact bit
+// comparisons and almost never what a simulator wants. Comparing against
+// an integer-valued constant is allowed — 0 and 1 are exactly
+// representable and dominate the legitimate sentinel checks (unset
+// fields, identity scale factors) — as is code inside approved
+// comparator helpers (functions named *Approx*/*Almost*).
+var floateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floating-point operands outside approved comparators",
+	Run: func(p *Pass) error {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && isComparatorFunc(fd.Name.Name) {
+					return false // approved comparator helper: exact compares are its job
+				}
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op.String() != "==" && be.Op.String() != "!=") {
+					return true
+				}
+				if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+					return true
+				}
+				if isIntConst(p, be.X) || isIntConst(p, be.Y) {
+					return true
+				}
+				p.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon comparator (or compare against an exact integer constant)", be.Op)
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func isComparatorFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "approx") || strings.Contains(lower, "almost")
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isIntConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Float64Val(tv.Value)
+	//lint:ignore floateq Trunc is exact, so equality is precisely the integrality test
+	return exact && v == math.Trunc(v)
+}
+
+// syncLockNames are the sync types that must never be copied once used.
+var syncLockNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// copylocks: passing or assigning a sync type by value copies its
+// internal state, silently forking the lock. Flags by-value parameters,
+// results and receivers, and assignments whose right-hand side is an
+// existing lock-carrying value (composite literals create fresh values
+// and are fine).
+var copylocksAnalyzer = &Analyzer{
+	Name: "copylocks",
+	Doc:  "sync types must not be passed or assigned by value",
+	Run: func(p *Pass) error {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkLockFields(p, n.Recv, "receiver")
+					if n.Type.Params != nil {
+						checkLockFields(p, n.Type.Params, "parameter")
+					}
+					if n.Type.Results != nil {
+						checkLockFields(p, n.Type.Results, "result")
+					}
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, rhs := range n.Rhs {
+						checkLockCopy(p, n.Lhs[i], rhs)
+					}
+				case *ast.ValueSpec:
+					if len(n.Names) == len(n.Values) {
+						for i, rhs := range n.Values {
+							checkLockCopy(p, n.Names[i], rhs)
+						}
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil && containsLock(p.TypeOf(n.Value)) {
+						p.Reportf(n.Value.Pos(), "range value copies a sync lock each iteration; range over indices or pointers")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func containsLock(t types.Type) bool {
+	return t != nil && containsSyncType(t, syncLockNames, nil)
+}
+
+// checkLockFields flags by-value lock-carrying entries of a field list.
+func checkLockFields(p *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			p.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", kind, types.TypeString(t, types.RelativeTo(p.Pkg.Types)))
+		}
+	}
+}
+
+// checkLockCopy flags `dst = src` where src is an existing value whose
+// type carries a lock.
+func checkLockCopy(p *Pass, dst, src ast.Expr) {
+	if id, ok := dst.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	switch ast.Unparen(src).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return // fresh values (literals, calls, &x) don't copy a used lock
+	}
+	if containsLock(p.TypeOf(src)) {
+		p.Reportf(src.Pos(), "assignment copies a value containing a sync lock; use a pointer")
+	}
+}

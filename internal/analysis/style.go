@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// pkgdoc: every package under internal/ carries a "// Package <name>"
+// doc comment.
+var pkgdocAnalyzer = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "internal packages must carry a `// Package <name>` doc comment",
+	Run: func(p *Pass) error {
+		if !strings.HasPrefix(p.Pkg.Dir, "internal/") {
+			return nil
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package "+p.Pkg.Name+" ") {
+				return nil
+			}
+		}
+		p.ReportPackage("package %s has no %q doc comment", p.Pkg.Dir, "// Package "+p.Pkg.Name+" ...")
+		return nil
+	},
+}
+
+// errorsnew: fmt.Errorf with a constant format string and no verbs
+// should be errors.New (staticcheck's S1028 family). Resolution goes
+// through the type checker, so aliased imports and local shadowing are
+// handled.
+var errorsnewAnalyzer = &Analyzer{
+	Name: "errorsnew",
+	Doc:  "fmt.Errorf with no format verbs should be errors.New",
+	Run: func(p *Pass) error {
+		inspectCalls(p, func(call *ast.CallExpr) {
+			if !isFunc(p.Callee(call), "fmt", "Errorf") || len(call.Args) != 1 {
+				return
+			}
+			if _, s, ok := constString(call.Args[0]); ok && !strings.Contains(s, "%") {
+				p.Reportf(call.Pos(), "fmt.Errorf with no format verbs; use errors.New")
+			}
+		})
+		return nil
+	},
+}
+
+// errstyle: error strings get wrapped and joined, so they must not end
+// with punctuation or a newline (staticcheck ST1005).
+var errstyleAnalyzer = &Analyzer{
+	Name: "errstyle",
+	Doc:  "error strings must not end with punctuation or a newline",
+	Run: func(p *Pass) error {
+		inspectCalls(p, func(call *ast.CallExpr) {
+			fn := p.Callee(call)
+			if !isFunc(fn, "fmt", "Errorf") && !isFunc(fn, "errors", "New") {
+				return
+			}
+			if len(call.Args) == 0 {
+				return
+			}
+			lit, s, ok := constString(call.Args[0])
+			if !ok || s == "" {
+				return
+			}
+			if strings.HasSuffix(s, "\n") || strings.ContainsAny(s[len(s)-1:], ".!?") {
+				p.Reportf(lit.Pos(), "error string ends with punctuation or a newline")
+			}
+		})
+		return nil
+	},
+}
+
+// inspectCalls walks every call expression of the package.
+func inspectCalls(p *Pass, fn func(*ast.CallExpr)) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				fn(call)
+			}
+			return true
+		})
+	}
+}
+
+// isFunc reports whether fn is package pkg's function named name.
+func isFunc(fn *types.Func, pkg, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name
+}
+
+// constString returns the literal and decoded value when the expression
+// is a plain string literal.
+func constString(e ast.Expr) (*ast.BasicLit, string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil, "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil, "", false
+	}
+	return lit, s, true
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// A directive is one parsed "//lint:ignore <check> <reason>" comment. It
+// suppresses findings of the named check on its own line (trailing
+// comment) or on the line immediately below (leading comment). The
+// reason is mandatory: a bare "//lint:ignore maprange" matches nothing,
+// so the finding survives and flags the malformed directive.
+type directive struct {
+	check string
+	line  int
+}
+
+// directiveSet indexes directives by file.
+type directiveSet map[string][]directive
+
+const ignorePrefix = "lint:ignore "
+
+// collectDirectives scans every comment of the analyzed packages.
+func collectDirectives(pkgs []*Package) directiveSet {
+	set := directiveSet{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+					if !ok {
+						continue
+					}
+					check, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+					if check == "" || strings.TrimSpace(reason) == "" {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					set[pkg.relFile(pos.Filename)] = append(set[pkg.relFile(pos.Filename)], directive{
+						check: check,
+						line:  pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a matching directive covers the finding.
+func (s directiveSet) suppresses(f Finding) bool {
+	for _, d := range s[f.File] {
+		if d.check == f.Check && (d.line == f.Line || d.line == f.Line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+// Package det is a determinism-critical fixture package: every seeded
+// violation below carries a want comment the selftest matches against
+// the engine's findings, and every unannotated line must stay quiet.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"fixture/taint" // want walltime "wall-clock-tainted"
+)
+
+// Clock violates the wall-clock ban.
+func Clock() time.Time {
+	return time.Now() // want walltime "time.Now"
+}
+
+// Roll violates the global math/rand ban.
+func Roll() int {
+	return rand.Intn(6) // want walltime "global math/rand"
+}
+
+// Seeded draws from a seeded source, which is fine.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// Stamp launders a wall-clock read through an imported helper package;
+// the taint fact propagated across the import graph flags the import
+// declaration above.
+func Stamp() time.Time {
+	return taint.Stamp()
+}
+
+// Sum iterates a map in randomized order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want maprange "map iteration order"
+		total += v
+	}
+	return total
+}
+
+// SortedKeys uses the canonical collect-then-sort idiom, which the
+// analyzer recognizes.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Spawn schedules a goroutine in the deterministic core.
+func Spawn(done chan struct{}) {
+	go func() { done <- struct{}{} }() // want nondetsched "go statement"
+}
+
+// Wait picks a ready channel pseudo-randomly.
+func Wait(a, b chan int) int {
+	select { // want nondetsched "select"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+var registry sync.Map // want nondetsched "sync.Map"
+
+// Equal compares floats exactly outside an approved comparator.
+func Equal(a, b float64) bool {
+	return a == b // want floateq "floating-point"
+}
+
+// approxEqual is an approved comparator helper; exact compares are its
+// job.
+func approxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// IsZero compares against an exact constant zero, which is allowed.
+func IsZero(a float64) bool {
+	return a == 0
+}
+
+// IsIdentity compares against an exact integer constant (sentinel scale
+// factors), which is allowed.
+func IsIdentity(scale float64) bool {
+	return scale == 1
+}
+
+// IsHalf compares against a non-integer constant, which is not.
+func IsHalf(a float64) bool {
+	return a == 0.5 // want floateq "floating-point"
+}

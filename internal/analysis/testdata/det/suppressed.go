@@ -1,0 +1,29 @@
+package det
+
+import "time"
+
+// Uptime reads the wall clock deliberately; the leading directive
+// silences the finding (and bumps the run's suppressed count).
+func Uptime() time.Time {
+	//lint:ignore walltime fixture: sanctioned wall-clock read
+	return time.Now()
+}
+
+// Trailing shows the same-line directive form.
+func Trailing() time.Time {
+	return time.Now() //lint:ignore walltime fixture: trailing directive
+}
+
+// Malformed's directive has no reason, so it suppresses nothing and the
+// finding survives.
+func Malformed() time.Time {
+	//lint:ignore walltime
+	return time.Now() // want walltime "time.Now"
+}
+
+// Mismatched's directive names a different check, so the walltime
+// finding survives.
+func Mismatched() time.Time {
+	//lint:ignore maprange fixture: wrong check name
+	return time.Now() // want walltime "time.Now"
+}

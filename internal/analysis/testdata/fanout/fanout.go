@@ -1,0 +1,18 @@
+// Package fanout is determinism-critical but sits on the nondetsched
+// allowlist: its worker fan-out must not be reported.
+package fanout
+
+import "sync"
+
+// Run fans work out over goroutines, joining before return.
+func Run(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,6 @@
+// Package hasdoc carries the required doc comment, so pkgdoc stays
+// quiet.
+package hasdoc
+
+// V is a fixture value.
+var V = 1

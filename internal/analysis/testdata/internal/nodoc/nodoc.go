@@ -1,0 +1,4 @@
+package nodoc // want pkgdoc "doc comment"
+
+// V is a fixture value.
+var V = 1

@@ -1,0 +1,54 @@
+// Package locks exercises the copylocks analyzer.
+package locks
+
+import "sync"
+
+// Guarded carries a mutex, so copying it forks the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// N locks through a pointer receiver, which is fine.
+func (g *Guarded) N() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// ByValue copies the lock into the parameter.
+func ByValue(g Guarded) int { // want copylocks "parameter"
+	return g.n
+}
+
+// ByPointer is the correct form.
+func ByPointer(g *Guarded) int { return g.n }
+
+// Fresh returns the lock-carrying struct by value.
+func Fresh() Guarded { // want copylocks "result"
+	return Guarded{}
+}
+
+// Snapshot copies an existing lock-carrying value.
+func Snapshot(g *Guarded) int {
+	snapshot := *g // want copylocks "assignment copies"
+	return snapshot.n
+}
+
+// Each copies the lock on every iteration.
+func Each(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want copylocks "range value"
+		total += g.n
+	}
+	return total
+}
+
+// EachIndex ranges by index, which is fine.
+func EachIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

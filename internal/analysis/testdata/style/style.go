@@ -1,0 +1,40 @@
+// Package style exercises the style and error-handling analyzers, which
+// apply module-wide (no determinism scope needed).
+package style
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Static should be errors.New.
+func Static() error {
+	return fmt.Errorf("static message") // want errorsnew "errors.New"
+}
+
+// Punct ends its error string with punctuation.
+func Punct() error {
+	return errors.New("ends badly.") // want errstyle "punctuation"
+}
+
+// Wrapped uses a real verb, which is fine.
+func Wrapped(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+// Drop discards os.Remove's error silently.
+func Drop() {
+	os.Remove("/tmp/fixture") // want errcheck "silently discarded"
+}
+
+// Checked shows the allowed forms: checking, explicit discard, and the
+// excluded fmt print family.
+func Checked() error {
+	if err := os.Remove("/tmp/fixture"); err != nil {
+		return err
+	}
+	_ = os.Remove("/tmp/fixture")
+	fmt.Println("done")
+	return nil
+}

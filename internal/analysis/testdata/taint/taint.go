@@ -1,0 +1,10 @@
+// Package taint reads the wall clock. It is not determinism-critical
+// itself, so no finding lands here — but the walltime analyzer records a
+// taint fact, and the deterministic fixture package importing it is
+// flagged.
+package taint
+
+import "time"
+
+// Stamp returns the current wall-clock time.
+func Stamp() time.Time { return time.Now() }

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 )
 
 // SchemaVersion is bumped whenever the baseline file format changes
@@ -153,16 +154,16 @@ func (b *Baseline) Save(path string) error {
 		return fmt.Errorf("benchreg: save baseline: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("benchreg: save baseline: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("benchreg: save baseline: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("benchreg: save baseline: %w", err)
 	}
 	return nil
@@ -201,8 +202,10 @@ func LatestPath(dir string) (string, error) {
 		if m == nil {
 			continue
 		}
-		var n int
-		fmt.Sscanf(m[1], "%d", &n)
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue // out-of-range index; not a usable baseline
+		}
 		if n > bestN {
 			best, bestN = e.Name(), n
 		}
@@ -227,8 +230,10 @@ func NextPath(dir string) (string, error) {
 		if m == nil {
 			continue
 		}
-		var n int
-		fmt.Sscanf(m[1], "%d", &n)
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue // out-of-range index; not a usable baseline
+		}
 		if n > maxN {
 			maxN = n
 		}

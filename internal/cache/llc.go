@@ -17,6 +17,7 @@ package cache
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -122,10 +123,19 @@ func (l *LLC) DefineClass() ClassID {
 // allocation drains at the inertia rate as competing insertions evict it.
 func (l *LLC) SetPartition(ways map[ClassID]int) error {
 	next := make(map[ClassID]int, len(l.classWays))
+	//lint:ignore maprange pure map-to-map copy; order cannot reach results
 	for id, w := range l.classWays {
 		next[id] = w
 	}
-	for id, w := range ways {
+	// Validate in sorted order so which error surfaces first is
+	// deterministic when several classes are bad.
+	ids := make([]ClassID, 0, len(ways))
+	for id := range ways {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := ways[id]
 		if _, ok := l.classWays[id]; !ok {
 			return fmt.Errorf("cache: unknown class %d", id)
 		}
@@ -135,6 +145,7 @@ func (l *LLC) SetPartition(ways map[ClassID]int) error {
 		next[id] = w
 	}
 	total := 0
+	//lint:ignore maprange commutative sum; order cannot reach results
 	for _, w := range next {
 		total += w
 	}
@@ -318,6 +329,7 @@ func (l *LLC) Apply(dt time.Duration, traffic []Traffic) map[int]float64 {
 
 	// Pass 3: tasks with no traffic this quantum (paused) lose occupancy to
 	// the active tasks in their class — only if the class had insertions.
+	//lint:ignore maprange each iteration updates only its own task's state; order cannot reach results
 	for id, st := range l.tasks {
 		if active[id] {
 			continue

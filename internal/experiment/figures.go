@@ -561,10 +561,17 @@ func PDFCurves(mr *MixResult, bins int) (map[config.Name]*stats.Histogram, error
 func RenderPDFCurves(mix Mix, curves map[config.Name]*stats.Histogram) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 11: Execution Time Probability Density (%s)\n", mix.Name)
+	// Pick the reference histogram (bin axis) in stable config order, not
+	// map order, so the rendered axis is reproducible.
 	var any *stats.Histogram
-	for _, h := range curves {
-		any = h
-		break
+	for _, c := range config.Names() {
+		if h, ok := curves[c]; ok {
+			any = h
+			break
+		}
+	}
+	if any == nil {
+		return ""
 	}
 	fmt.Fprintf(&b, "%12s", "t (s)")
 	for _, c := range config.Names() {

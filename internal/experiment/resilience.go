@@ -145,6 +145,7 @@ func (res *ResilienceResult) MinSuccessAt(intensity float64) float64 {
 	min, found := 1.0, false
 	for _, c := range res.Classes {
 		for _, p := range c.Points {
+			//lint:ignore floateq intensities are copied verbatim from the sweep plan, so exact match is the lookup key
 			if p.Intensity == intensity {
 				found = true
 				if p.Success < min {

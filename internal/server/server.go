@@ -680,8 +680,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(b)
-	w.Write([]byte{'\n'})
+	// Write errors mean the client went away; nothing useful to do.
+	_, _ = w.Write(b)
+	_, _ = w.Write([]byte{'\n'})
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {

@@ -34,6 +34,7 @@ func HistogramOf(xs []float64, bins int) (*Histogram, error) {
 		return nil, ErrEmpty
 	}
 	lo, hi := Min(xs), Max(xs)
+	//lint:ignore floateq exact degenerate-range guard; any nonzero width is a valid histogram range
 	if lo == hi { // degenerate: all samples equal
 		lo -= 0.5
 		hi += 0.5

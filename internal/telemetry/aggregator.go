@@ -251,6 +251,7 @@ func (a *Aggregator) FaultsByClass() map[string]int {
 		return nil
 	}
 	out := make(map[string]int, len(a.faultsByClass))
+	//lint:ignore maprange pure map-to-map copy; order cannot reach results
 	for k, v := range a.faultsByClass {
 		out[k] = v
 	}

@@ -17,7 +17,9 @@
 # packages only: the root package and cmd/ are thin facades over them and
 # are already exercised race-free by the plain test leg. The lint leg
 # (cmd/dirigent-lint) subsumes the old package-comment grep and adds the
-# staticcheck-style checks the CI image cannot install.
+# staticcheck-style checks the CI image cannot install; its -selftest leg
+# proves every analyzer still fires on the seeded fixture violations before
+# a clean repo run is trusted.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -63,6 +65,7 @@ run_serve() { go run ./cmd/dirigent-serve -selfcheck >/dev/null; }
 
 leg "gofmt -l" gofmt_clean
 leg "go vet ./..." go vet ./...
+leg "dirigent-lint -selftest" go run ./cmd/dirigent-lint -selftest
 leg "dirigent-lint" go run ./cmd/dirigent-lint
 leg "go build ./..." go build ./...
 leg "go test ./... $short" run_tests
