@@ -57,6 +57,9 @@ var defaultExactPolicy = Policy{Epsilon: 1e-9}
 // sum of both.
 var policyOverrides = map[string]Policy{
 	"machine_step_telemetry_ratio": {WarnRatio: 1.12, FailRatio: 1.40},
+	// Also a quotient of two timings — and the hard 2x floor lives in the
+	// dirigent-ci -skipahead gate, so the band here only tracks drift.
+	"step_skipahead_speedup": {WarnRatio: 1.12, FailRatio: 1.40},
 }
 
 func policyFor(m *Metric) Policy {
@@ -160,22 +163,32 @@ func compareOne(bm, cm *Metric, mode PerfMode, envComparable bool) Finding {
 			f.Msg = "perf comparison disabled"
 			return f
 		}
-		// All perf metrics are lower-is-better; ratio > 1 is a slowdown.
+		// Perf metrics are lower-is-better except those flagged
+		// HigherBetter (e.g. the skip-ahead speedup); the ratio is oriented
+		// so > 1 is always a regression.
 		ratio := math.Inf(1)
-		if f.Base > 0 {
+		if bm.HigherBetter {
+			if f.Cur > 0 {
+				ratio = f.Base / f.Cur
+			}
+		} else if f.Base > 0 {
 			ratio = f.Cur / f.Base
+		}
+		worseWord := "slower"
+		if bm.HigherBetter {
+			worseWord = "worse"
 		}
 		switch {
 		case ratio <= pol.WarnRatio:
 			// Within the noise band (improvements land here too).
 		case ratio <= pol.FailRatio:
 			f.Outcome = Warn
-			f.Msg = fmt.Sprintf("%.1f%% slower than baseline (warn above +%.0f%%)",
-				(ratio-1)*100, (pol.WarnRatio-1)*100)
+			f.Msg = fmt.Sprintf("%.1f%% %s than baseline (warn above +%.0f%%)",
+				(ratio-1)*100, worseWord, (pol.WarnRatio-1)*100)
 		default:
 			f.Outcome = Fail
-			f.Msg = fmt.Sprintf("%.1f%% slower than baseline (fail above +%.0f%%)",
-				(ratio-1)*100, (pol.FailRatio-1)*100)
+			f.Msg = fmt.Sprintf("%.1f%% %s than baseline (fail above +%.0f%%)",
+				(ratio-1)*100, worseWord, (pol.FailRatio-1)*100)
 			if mode == PerfWarn {
 				f.Outcome = Warn
 				f.Msg += "; demoted to warning by -perf warn"

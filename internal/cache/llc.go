@@ -45,12 +45,37 @@ type LLC struct {
 	scratchFill   map[ClassID]float64
 	scratchWeight map[ClassID]float64
 	scratchActive map[int]bool
+
+	// Dense state for ApplyFast, the skip-ahead engine's per-quantum update:
+	// class IDs are handed out sequentially from 0, so per-class accumulators
+	// index slices instead of maps. denseBytes caches each class's byte
+	// capacity and is rebuilt lazily when a partition change marks it dirty.
+	// stamp replaces the per-call active-task set: a task touched by the
+	// current ApplyFast call carries the call's stamp.
+	denseBytes []float64
+	denseDirty bool
+	denseFill  []float64
+	denseWt    []float64
+	stamp      uint64
+	scratchSt  []*taskState
+	scratchMs  []float64
+	// taskArr mirrors the tasks map as a slice so ApplyFast's inactive-decay
+	// pass iterates without map overhead. Order is immaterial: each entry
+	// only updates its own state.
+	taskArr []*taskState
 }
 
 type taskState struct {
 	class     ClassID
 	occupancy float64 // resident bytes
+	stamp     uint64  // last ApplyFast call that saw traffic from this task
 }
+
+// TaskRef is a stable handle to one task's cache state, valid from Register
+// (or Launch) until Unregister. The skip-ahead step engine resolves it once
+// per task so the per-quantum hit-rate and occupancy updates skip the task
+// map.
+type TaskRef = taskState
 
 // Config describes an LLC geometry.
 type Config struct {
@@ -85,6 +110,7 @@ func New(cfg Config) (*LLC, error) {
 		scratchFill:   map[ClassID]float64{},
 		scratchWeight: map[ClassID]float64{},
 		scratchActive: map[int]bool{},
+		denseDirty:    true,
 	}
 	return l, nil
 }
@@ -113,6 +139,7 @@ func (l *LLC) DefineClass() ClassID {
 	id := l.nextClass
 	l.nextClass++
 	l.classWays[id] = 0
+	l.denseDirty = true
 	return id
 }
 
@@ -153,6 +180,7 @@ func (l *LLC) SetPartition(ways map[ClassID]int) error {
 		return fmt.Errorf("cache: partition uses %d ways, cache has %d", total, l.ways)
 	}
 	l.classWays = next
+	l.denseDirty = true
 	return nil
 }
 
@@ -186,14 +214,29 @@ func (l *LLC) Register(task int, class ClassID) error {
 		st.class = class
 		return nil
 	}
-	l.tasks[task] = &taskState{class: class}
+	st := &taskState{class: class}
+	l.tasks[task] = st
+	l.taskArr = append(l.taskArr, st)
 	return nil
 }
 
 // Unregister removes a task; its occupancy is freed instantly (process
 // teardown invalidates its lines for our purposes).
 func (l *LLC) Unregister(task int) {
+	st, ok := l.tasks[task]
+	if !ok {
+		return
+	}
 	delete(l.tasks, task)
+	for i, s := range l.taskArr {
+		if s == st {
+			last := len(l.taskArr) - 1
+			l.taskArr[i] = l.taskArr[last]
+			l.taskArr[last] = nil
+			l.taskArr = l.taskArr[:last]
+			break
+		}
+	}
 }
 
 // Occupancy returns a task's resident bytes (0 for unknown tasks).
@@ -202,6 +245,13 @@ func (l *LLC) Occupancy(task int) float64 {
 		return st.occupancy
 	}
 	return 0
+}
+
+// Ref resolves a task's state handle (nil for unknown tasks). The handle
+// stays valid across Register-driven class moves — Register mutates the
+// existing state in place — and dies at Unregister.
+func (l *LLC) Ref(task int) *TaskRef {
+	return l.tasks[task]
 }
 
 // reuseSkew is the exponent of the hit-rate vs resident-fraction curve.
@@ -234,6 +284,25 @@ func (l *LLC) HitRate(task int, wss, locality float64) float64 {
 	return locality * math.Pow(resident, reuseSkew)
 }
 
+// HitRateRef is HitRate through a resolved handle: identical curve and
+// clamping, no task-map lookup. A nil handle misses always, like an unknown
+// task.
+func (l *LLC) HitRateRef(st *TaskRef, wss, locality float64) float64 {
+	if st == nil || wss <= 0 {
+		return 0
+	}
+	if locality < 0 {
+		locality = 0
+	} else if locality > 1 {
+		locality = 1
+	}
+	resident := st.occupancy / wss
+	if resident >= 1 {
+		return locality
+	}
+	return locality * math.Pow(resident, reuseSkew)
+}
+
 // Traffic describes one task's cache activity during a quantum, produced by
 // the machine's performance solver.
 type Traffic struct {
@@ -245,6 +314,10 @@ type Traffic struct {
 	MissRate float64
 	// WSS is the task's current working-set size in bytes.
 	WSS float64
+	// Ref is the task's resolved state handle (see Ref). ApplyFast uses it to
+	// skip the task-map lookup; a nil Ref falls back to lookup by Task. Apply
+	// ignores it entirely.
+	Ref *TaskRef
 }
 
 // Apply advances occupancy dynamics by dt given each task's traffic, and
@@ -347,6 +420,128 @@ func (l *LLC) Apply(dt time.Duration, traffic []Traffic) map[int]float64 {
 	}
 
 	return misses
+}
+
+// rebuildDense refreshes the per-class byte capacities and accumulator
+// slices after a partition or class-set change. Class IDs are sequential
+// from 0, so nextClass bounds the dense index space.
+func (l *LLC) rebuildDense() {
+	n := int(l.nextClass)
+	if cap(l.denseBytes) < n {
+		l.denseBytes = make([]float64, n)
+		l.denseFill = make([]float64, n)
+		l.denseWt = make([]float64, n)
+	}
+	l.denseBytes = l.denseBytes[:n]
+	l.denseFill = l.denseFill[:n]
+	l.denseWt = l.denseWt[:n]
+	for id := ClassID(0); id < l.nextClass; id++ {
+		// Same expression as Apply's capBytes, so the cached value is
+		// bit-identical to recomputing it per task.
+		l.denseBytes[id] = float64(l.classWays[id]) * l.wayBytes
+	}
+	l.denseDirty = false
+}
+
+// ApplyFast advances the same occupancy dynamics as Apply with the same
+// floating-point expression forms in the same order — the two are pinned
+// bit-identical by TestApplyFastMatchesApply — but replaces the per-call map
+// churn with dense per-class accumulators, resolved task handles, and a call
+// stamp standing in for the active-task set. It is the skip-ahead step
+// engine's variant; it does not return per-task miss counts (the machine
+// computes those itself) and requires each task to appear at most once in
+// traffic.
+func (l *LLC) ApplyFast(dt time.Duration, traffic []Traffic) {
+	const weightFloor = float64(16 * LineSize)
+	const hitRecencyWeight = 0.5
+
+	if l.denseDirty {
+		l.rebuildDense()
+	}
+	fill, weight := l.denseFill, l.denseWt
+	for i := range fill {
+		fill[i] = 0
+		weight[i] = 0
+	}
+	l.stamp++
+	stamp := l.stamp
+
+	sts := l.scratchSt[:0]
+	miss := l.scratchMs[:0]
+
+	// Pass 1: per-task miss counts, per-class fill and weight totals. The
+	// hits term is accumulated exactly as in Apply (its association differs
+	// from pass 2's weight expression on purpose — Apply's forms are kept
+	// verbatim).
+	for i := range traffic {
+		tr := &traffic[i]
+		st := tr.Ref
+		if st == nil {
+			st = l.tasks[tr.Task]
+		}
+		sts = append(sts, st)
+		if st == nil {
+			miss = append(miss, 0)
+			continue
+		}
+		m := tr.Accesses * clamp01(tr.MissRate)
+		miss = append(miss, m)
+		st.stamp = stamp
+		fill[st.class] += m * LineSize
+		hits := (tr.Accesses - m) * LineSize
+		weight[st.class] += m*LineSize + hitRecencyWeight*hits + weightFloor
+	}
+	l.scratchSt, l.scratchMs = sts, miss
+
+	dtSec := dt.Seconds()
+	// Pass 2: move each active task toward its equilibrium share.
+	for i := range traffic {
+		st := sts[i]
+		if st == nil {
+			continue
+		}
+		tr := &traffic[i]
+		capBytes := l.denseBytes[st.class]
+		if capBytes <= 0 {
+			// No ways: occupancy drains fast (fills bypass the class).
+			st.occupancy *= math.Max(0, 1-4*dtSec/0.001)
+			continue
+		}
+		// Convergence rate: class fill bandwidth over class capacity plus
+		// a slow base drift so caches settle even with no traffic at all.
+		rate := fill[st.class]/capBytes + 0.02*dtSec/0.005
+		if rate > 1 {
+			rate = 1
+		}
+		m := miss[i]
+		w := m*LineSize + hitRecencyWeight*(tr.Accesses-m)*LineSize + weightFloor
+		eq := capBytes * w / weight[st.class]
+		if eq > tr.WSS && tr.WSS > 0 {
+			eq = tr.WSS
+		}
+		st.occupancy += (eq - st.occupancy) * rate
+		if st.occupancy < 0 {
+			st.occupancy = 0
+		}
+	}
+
+	// Pass 3: tasks with no traffic this quantum (paused) lose occupancy to
+	// the active tasks in their class — only if the class had insertions.
+	for _, st := range l.taskArr {
+		if st.stamp == stamp {
+			continue
+		}
+		capBytes := l.denseBytes[st.class]
+		if capBytes <= 0 {
+			st.occupancy = 0
+			continue
+		}
+		rate := fill[st.class] / capBytes
+		if rate > 1 {
+			rate = 1
+		}
+		st.occupancy *= 1 - rate
+	}
 }
 
 func clamp01(x float64) float64 {

@@ -365,3 +365,120 @@ func TestEquilibriumSplitsByTraffic(t *testing.T) {
 		t.Errorf("symmetric tasks diverged: %g vs %g", o1, o2)
 	}
 }
+
+// TestApplyFastMatchesApply pins the skip-ahead variant of the occupancy
+// update to the reference implementation bit for bit. Two caches replay the
+// same history — shared and partitioned classes, a mid-run class move, a
+// partition shrink to zero ways and back, tasks pausing in and out of the
+// traffic slice, an unregistered task, and WSS-capped equilibria — one
+// through Apply, one through ApplyFast (with handles resolved, and
+// periodically left nil to cover the lookup fallback). Every task's
+// occupancy must stay exactly equal the whole way, as must HitRate vs
+// HitRateRef, because the machine's two step engines are only byte-identical
+// if the subsystems they call are.
+func TestApplyFastMatchesApply(t *testing.T) {
+	ref := MustNew(DefaultConfig())
+	fst := MustNew(DefaultConfig())
+	newClasses := func(l *LLC) []ClassID {
+		cs := []ClassID{0, l.DefineClass(), l.DefineClass()}
+		if err := l.SetPartition(map[ClassID]int{0: 4, cs[1]: 10, cs[2]: 6}); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	refC, fstC := newClasses(ref), newClasses(fst)
+
+	const nTasks = 5
+	classOf := []int{0, 1, 1, 2, 2} // index into the class slices, per task-1
+	wss := []float64{2 << 20, 6 << 20, 24 << 20, 1 << 20, 12 << 20}
+	loc := []float64{0.95, 0.9, 0.6, 0.99, 0.7}
+	acc := []float64{3000, 5000, 20000, 800, 9000}
+	refs := make([]*TaskRef, nTasks)
+	for i := 0; i < nTasks; i++ {
+		if err := ref.Register(i+1, refC[classOf[i]]); err != nil {
+			t.Fatal(err)
+		}
+		if err := fst.Register(i+1, fstC[classOf[i]]); err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = fst.Ref(i + 1)
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch step {
+		case 1500: // class move: handles must survive it
+			if err := ref.Register(2, refC[2]); err != nil {
+				t.Fatal(err)
+			}
+			if err := fst.Register(2, fstC[2]); err != nil {
+				t.Fatal(err)
+			}
+		case 2500: // shrink a class to zero ways: fast-drain path
+			if err := ref.SetPartition(map[ClassID]int{refC[2]: 0}); err != nil {
+				t.Fatal(err)
+			}
+			if err := fst.SetPartition(map[ClassID]int{fstC[2]: 0}); err != nil {
+				t.Fatal(err)
+			}
+		case 3000:
+			if err := ref.SetPartition(map[ClassID]int{refC[2]: 6}); err != nil {
+				t.Fatal(err)
+			}
+			if err := fst.SetPartition(map[ClassID]int{fstC[2]: 6}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var refTr, fstTr []Traffic
+		for i := 0; i < nTasks; i++ {
+			if (step+i)%7 == 0 { // periodic pauses exercise pass 3
+				continue
+			}
+			hr := ref.HitRate(i+1, wss[i], loc[i])
+			hf := fst.HitRateRef(refs[i], wss[i], loc[i])
+			if hr != hf {
+				t.Fatalf("step %d task %d: HitRate %g != HitRateRef %g", step, i+1, hr, hf)
+			}
+			refTr = append(refTr, Traffic{Task: i + 1, Accesses: acc[i], MissRate: 1 - hr, WSS: wss[i]})
+			r := refs[i]
+			if step%11 == 0 {
+				r = nil // cover ApplyFast's lookup fallback
+			}
+			fstTr = append(fstTr, Traffic{Task: i + 1, Accesses: acc[i], MissRate: 1 - hf, WSS: wss[i], Ref: r})
+		}
+		if step%13 == 0 { // unregistered task: both variants must skip it
+			refTr = append(refTr, Traffic{Task: 99, Accesses: 1000, MissRate: 0.5, WSS: 1 << 20})
+			fstTr = append(fstTr, Traffic{Task: 99, Accesses: 1000, MissRate: 0.5, WSS: 1 << 20})
+		}
+		ref.Apply(quantum, refTr)
+		fst.ApplyFast(quantum, fstTr)
+		for i := 0; i < nTasks; i++ {
+			if ro, fo := ref.Occupancy(i+1), fst.Occupancy(i+1); ro != fo {
+				t.Fatalf("step %d task %d: occupancy diverged: Apply %g, ApplyFast %g", step, i+1, ro, fo)
+			}
+		}
+	}
+	for i := 0; i < nTasks; i++ {
+		if ref.Occupancy(i+1) == 0 {
+			t.Errorf("task %d never built occupancy — the comparison proved little", i+1)
+		}
+	}
+
+	// Unregister through the fast path's dense mirror, then keep stepping:
+	// the departed task must stay gone on both sides.
+	ref.Unregister(3)
+	fst.Unregister(3)
+	for step := 0; step < 50; step++ {
+		tr := []Traffic{{Task: 1, Accesses: acc[0], MissRate: 1 - ref.HitRate(1, wss[0], loc[0]), WSS: wss[0]}}
+		ftr := []Traffic{{Task: 1, Accesses: acc[0], MissRate: 1 - fst.HitRateRef(refs[0], wss[0], loc[0]), WSS: wss[0], Ref: refs[0]}}
+		ref.Apply(quantum, tr)
+		fst.ApplyFast(quantum, ftr)
+	}
+	if fst.Occupancy(3) != ref.Occupancy(3) || fst.Occupancy(3) != 0 {
+		t.Errorf("unregistered task occupancy: Apply %g, ApplyFast %g, want 0", ref.Occupancy(3), fst.Occupancy(3))
+	}
+	for i := range []int{0, 1} {
+		if ro, fo := ref.Occupancy(i+1), fst.Occupancy(i+1); ro != fo {
+			t.Errorf("post-unregister task %d occupancy diverged: %g vs %g", i+1, ro, fo)
+		}
+	}
+}

@@ -129,6 +129,11 @@ type Runtime struct {
 	reprofiles  int
 
 	invocations int
+
+	// compat mirrors the machine's CompatStepping flag: Run/RunExecutions
+	// degrade to quantum-by-quantum stepping when the legacy engine is
+	// selected.
+	compat bool
 }
 
 // NewRuntime builds a Dirigent runtime over colo using one offline profile
@@ -182,6 +187,7 @@ func NewRuntime(colo *sched.Colocation, profiles []*Profile, cfg RuntimeConfig) 
 		targets:      append([]time.Duration(nil), cfg.Targets...),
 		ticker:       sim.MustTicker(cfg.SamplePeriod),
 		instrAtStart: make([]float64, len(fgs)),
+		compat:       m.Config().CompatStepping,
 	}
 	if cfg.Faults != nil {
 		r.lastProgress = make([]float64, len(fgs))
@@ -570,14 +576,62 @@ func (r *Runtime) Step() error {
 	return r.pol.Tick(now, status)
 }
 
-// Run advances until the given simulated time.
+// Run advances until the given simulated time. On the skip-ahead engine the
+// quanta between runtime invocations are batched: the machine only surfaces
+// at "interesting" instants — the next sampler tick (or a postponed tick's
+// landing), an FG completion (StepN stops there so onComplete fires at its
+// exact quantum), or until itself — and the full per-quantum control-loop
+// check runs only for those boundary quanta, where it runs verbatim.
 func (r *Runtime) Run(until sim.Time) error {
-	for r.colo.Machine().Now() < until {
-		if err := r.Step(); err != nil {
-			return err
+	m := r.colo.Machine()
+	for m.Now() < until {
+		// Ordering matches the per-quantum loop: reprofile servicing happens
+		// at the top of Step, so any state that schedules one (a completion
+		// inside a batch) is serviced before further quanta advance.
+		if r.compat || r.anyNeedReprofile {
+			if err := r.Step(); err != nil {
+				return err
+			}
+			continue
 		}
+		k := r.batchQuanta(until)
+		if k <= 0 {
+			// The next quantum is a boundary (tick due): full control path.
+			if err := r.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		r.colo.StepN(k)
 	}
 	return nil
+}
+
+// batchQuanta returns how many quanta can be skipped ahead from Now()
+// without crossing an interesting instant: the sampler tick's due time, a
+// postponed tick's landing, or the limit (ceil-aligned, like the
+// per-quantum loop). The returned batch is "boring" by construction —
+// ticker.Fire would have returned false after every quantum in it — so
+// skipping those checks is behavior-identical. 0 means the very next
+// quantum is a boundary and must run through Step.
+func (r *Runtime) batchQuanta(limit sim.Time) int {
+	m := r.colo.Machine()
+	now := m.Now()
+	q := sim.Time(m.Config().Quantum)
+	due := r.ticker.NextDue()
+	if r.pendingTick != 0 && r.pendingTick < due {
+		due = r.pendingTick
+	}
+	k := 0
+	if due > now {
+		// Strictly before due: the quantum that reaches due fires the tick
+		// and takes the full path.
+		k = int((due - now - 1) / q)
+	}
+	if rem := int((limit - now + q - 1) / q); rem < k {
+		k = rem
+	}
+	return k
 }
 
 // runReprofiles services pending re-profiling requests. Each one pauses BG
@@ -660,7 +714,18 @@ func (r *Runtime) RunExecutions(n int, limit sim.Time) error {
 		if r.colo.Machine().Now() >= limit {
 			return fmt.Errorf("core: only %d/%d executions within %v", minDone, n, time.Duration(limit))
 		}
-		if err := r.Step(); err != nil {
+		// Batch the boring quanta between interesting instants; see Run. The
+		// completion counts only change when a batch stops, so the checks
+		// above observe exactly the states the per-quantum loop did.
+		if r.compat || r.anyNeedReprofile {
+			if err := r.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		if k := r.batchQuanta(limit); k > 0 {
+			r.colo.StepN(k)
+		} else if err := r.Step(); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"dirigent/internal/config"
@@ -186,6 +185,7 @@ func (r *Runner) PredictionProbe(mix Mix, executions, skip int) (*PredictionProb
 	}
 	mcfg := machine.DefaultConfig()
 	mcfg.Seed = mix.Seed()
+	mcfg.CompatStepping = r.CompatStepping
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return nil, err
@@ -235,8 +235,30 @@ func (r *Runner) PredictionProbe(mix Mix, executions, skip int) (*PredictionProb
 
 	tick := sim.MustTicker(core.DefaultSamplePeriod)
 	limit := sim.Time(r.TimeLimit)
+	q := sim.Time(mcfg.Quantum)
 	for len(all) < executions && m.Now() < limit && probeErr == nil {
-		colo.Step()
+		if r.CompatStepping {
+			colo.Step()
+		} else {
+			// Skip-ahead: the quanta strictly before the next sampler tick
+			// cannot fire the ticker, so batch them in one StepN. StepN
+			// early-stops on completions, so OnComplete still observes each
+			// execution at its exact quantum boundary; the boundary quantum
+			// itself runs through the single-Step path below.
+			now := m.Now()
+			k := 0
+			if due := tick.NextDue(); due > now {
+				k = int((due - now - 1) / q)
+			}
+			if rem := int((limit - now + q - 1) / q); rem < k {
+				k = rem
+			}
+			if k > 0 {
+				colo.StepN(k)
+			} else {
+				colo.Step()
+			}
+		}
 		if !tick.Fire(m.Now()) {
 			continue
 		}
@@ -297,18 +319,9 @@ func (r *Runner) PredictionAccuracy(executions, skip int) ([]*PredictionProbeRes
 	mixes := AllSingleFGMixes()
 	out := make([]*PredictionProbeResult, len(mixes))
 	errs := make([]error, len(mixes))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i := range mixes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = r.PredictionProbe(mixes[i], executions, skip)
-		}(i)
-	}
-	wg.Wait()
+	fanOut(len(mixes), func(i int) {
+		out[i], errs[i] = r.PredictionProbe(mixes[i], executions, skip)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mix %s: %w", mixes[i].Name, err)

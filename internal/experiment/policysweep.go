@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"dirigent/internal/config"
 	"dirigent/internal/policy"
@@ -59,18 +58,9 @@ func (r *Runner) PolicySweep(mixes []Mix, policies []string) (*PolicySweepResult
 	}
 	res := &PolicySweepResult{Policies: policies, Mixes: make([]*PolicyMixResult, len(mixes))}
 	errs := make([]error, len(mixes))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i := range mixes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res.Mixes[i], errs[i] = r.policySweepMix(mixes[i], policies)
-		}(i)
-	}
-	wg.Wait()
+	fanOut(len(mixes), func(i int) {
+		res.Mixes[i], errs[i] = r.policySweepMix(mixes[i], policies)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mix %s: %w", mixes[i].Name, err)

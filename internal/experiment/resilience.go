@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"dirigent/internal/config"
@@ -256,18 +255,9 @@ func (r *Runner) ResilienceSweep(mix Mix, opts ResilienceOptions) (*ResilienceRe
 
 	runs := make([]*RunResult, len(jobs))
 	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			runs[i], errs[i] = r.runOne(mix, jobs[i].spec)
-		}(i)
-	}
-	wg.Wait()
+	fanOut(len(jobs), func(i int) {
+		runs[i], errs[i] = r.runOne(mix, jobs[i].spec)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("resilience %s (class %d): %w", mix.Name, jobs[i].class, err)

@@ -46,6 +46,12 @@ type Runner struct {
 	// machine classes.
 	MachineClass string
 
+	// CompatStepping drives every run's machine through the legacy
+	// per-quantum engine instead of the skip-ahead fast path. Results are
+	// bit-identical either way; the flag exists for differential testing
+	// and for the benchreg speedup probe's baseline timing.
+	CompatStepping bool
+
 	// Recorder is an optional extra telemetry sink: every run's event
 	// stream is teed into it (labelled "mix/config" via WithRun) in
 	// addition to the per-run aggregator the runner consumes internally.
@@ -550,18 +556,9 @@ func durationsSeconds(durs []time.Duration) []float64 {
 func (r *Runner) RunMixes(mixes []Mix) ([]*MixResult, error) {
 	out := make([]*MixResult, len(mixes))
 	errs := make([]error, len(mixes))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i := range mixes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = r.RunMix(mixes[i])
-		}(i)
-	}
-	wg.Wait()
+	fanOut(len(mixes), func(i int) {
+		out[i], errs[i] = r.RunMix(mixes[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mix %s: %w", mixes[i].Name, err)
@@ -570,14 +567,51 @@ func (r *Runner) RunMixes(mixes []Mix) ([]*MixResult, error) {
 	return out, nil
 }
 
-// maxParallel is the RunMixes fan-out width: the DIRIGENT_MAX_PARALLEL
-// environment variable when set to a positive integer, otherwise the host
-// CPU count. Results are deterministic regardless of the width — the knob
-// only trades wall-clock time against load (e.g. capping a shared CI box,
-// or widening past GOMAXPROCS when runs block on nothing).
+// fanOut runs fn(0), …, fn(n-1) on goroutines, at most maxParallel at a
+// time, and waits for all of them. It is the one bounded fan-out every
+// concurrent sweep (mixes, policy sweeps, resilience jobs, prediction
+// probes) goes through: each fn owns slot i of its caller's result/error
+// slices, so no synchronization beyond the barrier is needed.
+func fanOut(n int, fn func(i int)) {
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// warnMaxParallel limits the bad-DIRIGENT_MAX_PARALLEL warning to one line
+// per process (maxParallel is called once per sweep).
+var warnMaxParallel sync.Once
+
+// maxParallel is the fan-out width: the DIRIGENT_MAX_PARALLEL environment
+// variable when set, otherwise the host CPU count. Results are deterministic
+// regardless of the width — the knob only trades wall-clock time against
+// load (e.g. capping a shared CI box, or widening past GOMAXPROCS when runs
+// block on nothing). Values below 1 are clamped to 1 — a zero-capacity
+// fan-out semaphore would block every sweep goroutine forever — and
+// unparsable values fall back to the CPU count; both warn once on stderr.
 func maxParallel() int {
 	if s := os.Getenv("DIRIGENT_MAX_PARALLEL"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+		n, err := strconv.Atoi(s)
+		switch {
+		case err != nil:
+			warnMaxParallel.Do(func() {
+				fmt.Fprintf(os.Stderr, "experiment: DIRIGENT_MAX_PARALLEL=%q is not an integer; using GOMAXPROCS\n", s)
+			})
+		case n < 1:
+			warnMaxParallel.Do(func() {
+				fmt.Fprintf(os.Stderr, "experiment: DIRIGENT_MAX_PARALLEL=%d clamped to 1\n", n)
+			})
+			return 1
+		default:
 			return n
 		}
 	}

@@ -306,17 +306,34 @@ func TestRunConfigsStaticBothFallback(t *testing.T) {
 }
 
 // TestMaxParallelEnv: DIRIGENT_MAX_PARALLEL overrides the mix-sweep worker
-// count; invalid values fall back to GOMAXPROCS.
+// count; non-positive values clamp to 1 (a zero-width fan-out would
+// deadlock every sweep), unparsable values fall back to GOMAXPROCS.
 func TestMaxParallelEnv(t *testing.T) {
 	t.Setenv("DIRIGENT_MAX_PARALLEL", "3")
 	if got := maxParallel(); got != 3 {
 		t.Errorf("maxParallel with env 3 = %d", got)
 	}
+	for _, nonpos := range []string{"0", "-2"} {
+		t.Setenv("DIRIGENT_MAX_PARALLEL", nonpos)
+		if got := maxParallel(); got != 1 {
+			t.Errorf("maxParallel with env %q = %d, want clamp to 1", nonpos, got)
+		}
+	}
 	def := runtime.GOMAXPROCS(0)
-	for _, bad := range []string{"", "0", "-2", "many"} {
+	for _, bad := range []string{"", "many"} {
 		t.Setenv("DIRIGENT_MAX_PARALLEL", bad)
 		if got := maxParallel(); got != def {
 			t.Errorf("maxParallel with env %q = %d, want GOMAXPROCS %d", bad, got, def)
+		}
+	}
+	// The clamp must make the fan-out safe end-to-end: under the previously
+	// deadlocking value, a bounded fan-out still completes.
+	t.Setenv("DIRIGENT_MAX_PARALLEL", "0")
+	ran := make([]bool, 4)
+	fanOut(len(ran), func(i int) { ran[i] = true })
+	for i, ok := range ran {
+		if !ok {
+			t.Errorf("fanOut skipped slot %d", i)
 		}
 	}
 }

@@ -160,6 +160,7 @@ func (r *Runner) startSession(mix Mix, spec runSpec) (*Session, error) {
 		return nil, err
 	}
 	mcfg.Seed = seed
+	mcfg.CompatStepping = r.CompatStepping
 	var inj *fault.Injector
 	if !spec.faults.IsZero() {
 		// One injector per run, seeded from the mix so fault schedules

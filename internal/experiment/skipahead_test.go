@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dirigent/internal/telemetry"
+)
+
+// skipaheadRunner builds a runner with the stepping engine selected; the two
+// engines must be observationally indistinguishable, so everything else is
+// held identical.
+func skipaheadRunner(compat bool) *Runner {
+	r := NewRunner()
+	r.Executions = 10
+	r.Warmup = 2
+	r.CalibExecutions = 5
+	r.ConvergenceWarmup = 8
+	r.CompatStepping = compat
+	return r
+}
+
+// TestSkipaheadEquivalentFullRun is the end-to-end equivalence contract for
+// the skip-ahead step engine: a full RunMix — every system configuration,
+// runtime controllers, partitioning, the works — produces byte-identical
+// results and a byte-identical full-volume event trace (quantum steps
+// included) whether the machine steps one quantum at a time
+// (CompatStepping) or batches boring quanta through StepN.
+func TestSkipaheadEquivalentFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full mix runs")
+	}
+	mix := Mix{Name: "skipahead", FG: []string{"ferret"}, BG: repeat("rs", 5)}
+
+	run := func(compat bool) ([]byte, []byte) {
+		r := skipaheadRunner(compat)
+		var trace bytes.Buffer
+		r.Recorder = telemetry.NewJSONL(&trace).Include(telemetry.KindQuantumStep)
+		res, err := r.RunMix(mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, trace.Bytes()
+	}
+
+	compatRes, compatTrace := run(true)
+	fastRes, fastTrace := run(false)
+	if !bytes.Equal(compatRes, fastRes) {
+		t.Error("skip-ahead stepping changed RunMix results")
+	}
+	if !bytes.Equal(compatTrace, fastTrace) {
+		t.Error("skip-ahead stepping changed the event stream")
+	}
+	if len(compatTrace) == 0 {
+		t.Fatal("trace is empty — the comparison proved nothing")
+	}
+}
+
+// TestSkipaheadEquivalentResilience extends the equivalence contract to
+// fault plans: a resilience sweep (fault injection across every class, a
+// stale-profile run, and the re-profiling recovery path) is identical under
+// both engines. Faults land mid-run at seeded times, so this exercises
+// skip-ahead batches being cut short by ticks, pending delays, and
+// reprofile requests.
+func TestSkipaheadEquivalentResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two resilience sweeps")
+	}
+	mix := Mix{Name: "skipahead res", FG: []string{"ferret"}, BG: repeat("rs", 5)}
+	opts := ResilienceOptions{Intensities: []float64{0.3}}
+
+	run := func(compat bool) []byte {
+		r := skipaheadRunner(compat)
+		r.Executions = 12
+		res, err := r.ResilienceSweep(mix, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	compat := run(true)
+	fast := run(false)
+	if !bytes.Equal(compat, fast) {
+		t.Errorf("skip-ahead stepping changed the resilience sweep:\ncompat: %s\nfast:   %s",
+			compat, fast)
+	}
+}

@@ -116,6 +116,12 @@ type Config struct {
 	// fail. Strictly opt-in — nil (the default) leaves every code path
 	// byte-identical to a machine without fault support.
 	Faults *fault.Injector
+	// CompatStepping drives every advance through the legacy per-quantum
+	// engine (stepCompat) instead of the skip-ahead fast path. Both engines
+	// produce bit-identical state and event streams — CompatStepping exists
+	// as the reference for differential tests and as the baseline the
+	// skip-ahead speedup gate measures against, not as a semantic switch.
+	CompatStepping bool
 }
 
 // DefaultConfig mirrors the paper's platform.
@@ -159,6 +165,13 @@ type task struct {
 	// Slow OS-noise state: the current multiplier and when to redraw.
 	slowJitter float64
 	slowUntil  sim.Time
+
+	// Resolved per-task handles the skip-ahead engine charges through,
+	// skipping the LLC and counter map lookups every quantum. Both stay
+	// valid for the task's lifetime: class moves mutate the cache state in
+	// place, and nothing resets counters mid-run.
+	cref   *cache.TaskRef
+	sample *perf.Sample
 }
 
 // Machine is the simulated multicore system. Not safe for concurrent use.
@@ -215,7 +228,37 @@ type Machine struct {
 	scratchTraffic []cache.Traffic
 	scratchInstr   []float64
 	scratchJitter  []float64
+
+	// Skip-ahead engine state (stepFast/StepN). The scratch arrays hold the
+	// per-core terms that are invariant within one quantum — phase pointer
+	// (nil for idle or paused cores), effective compute seconds, clock,
+	// hit rate, misses per instruction, jittered base CPI, and MLP — hoisted
+	// once instead of recomputed on every solver iteration. batchQ
+	// accumulates quantum-step events across a StepN batch; flushQuanta
+	// hands them to recBatch (the recorder's batch interface, when it has
+	// one) in a single call.
+	scratchEff   []float64
+	scratchPhase []*workload.Phase
+	scratchF     []float64
+	scratchHit   []float64
+	scratchMPI   []float64
+	scratchBJ    []float64
+	scratchMLP   []float64
+	batchQ       []telemetry.Event
+	recBatch     telemetry.QuantumBatcher
+
+	// quantumSec caches cfg.Quantum.Seconds() and coreGHz caches
+	// ladder[c][coreFreq[c]] (maintained by commitFreq), so the fast engine
+	// reads them instead of re-deriving both every quantum. Both are exactly
+	// the values the compat engine computes inline.
+	quantumSec float64
+	coreGHz    []float64
 }
+
+// maxBatchQuanta bounds how many quanta one StepN call may advance, capping
+// the batched-event buffer and keeping completion latency (the early-stop
+// scan) bounded even when a caller passes a huge max.
+const maxBatchQuanta = 1024
 
 // New validates cfg and builds a machine.
 func New(cfg Config) (*Machine, error) {
@@ -272,25 +315,33 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	m := &Machine{
-		cfg:           cfg,
-		clock:         clock,
-		llc:           llc,
-		memory:        memory,
-		counters:      counters,
-		coreFreq:      make([]int, cfg.Cores),
-		coreTask:      make([]*task, cfg.Cores),
-		tasks:         map[int]*task{},
-		nextID:        1,
-		overheadOwed:  make([]time.Duration, cfg.Cores),
-		freqResidency: make([][]time.Duration, cfg.Cores),
-		ladder:        make([][]float64, cfg.Cores),
-		cpiScale:      make([]float64, cfg.Cores),
-		coreSocket:    make([]int, cfg.Cores),
-		multiSocket:   sockets > 1,
-		rng:           sim.NewRand(cfg.Seed),
-		rec:           telemetry.Nop(),
-		scratchInstr:  make([]float64, cfg.Cores),
-		scratchJitter: make([]float64, cfg.Cores),
+		cfg:            cfg,
+		clock:          clock,
+		llc:            llc,
+		memory:         memory,
+		counters:       counters,
+		coreFreq:       make([]int, cfg.Cores),
+		coreTask:       make([]*task, cfg.Cores),
+		tasks:          map[int]*task{},
+		nextID:         1,
+		overheadOwed:   make([]time.Duration, cfg.Cores),
+		freqResidency:  make([][]time.Duration, cfg.Cores),
+		ladder:         make([][]float64, cfg.Cores),
+		cpiScale:       make([]float64, cfg.Cores),
+		coreSocket:     make([]int, cfg.Cores),
+		multiSocket:    sockets > 1,
+		rng:            sim.NewRand(cfg.Seed),
+		rec:            telemetry.Nop(),
+		scratchTraffic: make([]cache.Traffic, 0, cfg.Cores),
+		scratchInstr:   make([]float64, cfg.Cores),
+		scratchJitter:  make([]float64, cfg.Cores),
+		scratchEff:     make([]float64, cfg.Cores),
+		scratchPhase:   make([]*workload.Phase, cfg.Cores),
+		scratchF:       make([]float64, cfg.Cores),
+		scratchHit:     make([]float64, cfg.Cores),
+		scratchMPI:     make([]float64, cfg.Cores),
+		scratchBJ:      make([]float64, cfg.Cores),
+		scratchMLP:     make([]float64, cfg.Cores),
 	}
 	// Expand core sets into per-core ladders, CPI scaling, and socket
 	// placement. The homogeneous default aliases the shared level grid so
@@ -326,9 +377,12 @@ func New(cfg Config) (*Machine, error) {
 	}
 	// Cores start at maximum frequency.
 	top := len(cfg.FreqLevelsGHz) - 1
+	m.quantumSec = cfg.Quantum.Seconds()
+	m.coreGHz = make([]float64, cfg.Cores)
 	for c := range m.coreFreq {
 		m.coreFreq[c] = top
 		m.freqResidency[c] = make([]time.Duration, len(cfg.FreqLevelsGHz))
+		m.coreGHz[c] = m.ladder[c][top]
 	}
 	if cfg.Faults != nil {
 		m.pendingFreq = make([]pendingTransition, cfg.Cores)
@@ -356,6 +410,7 @@ func (m *Machine) Config() Config { return m.cfg }
 // event so sinks can interpret later DVFS/quantum events.
 func (m *Machine) SetRecorder(rec telemetry.Recorder) {
 	m.rec = telemetry.OrNop(rec)
+	m.recBatch, _ = m.rec.(telemetry.QuantumBatcher)
 	if m.rec.Enabled(telemetry.KindMachineStart) {
 		m.rec.Record(telemetry.Event{
 			Kind:     telemetry.KindMachineStart,
@@ -406,7 +461,8 @@ func (m *Machine) Launch(name string, prog *workload.Program, core int, class ca
 		return 0, err
 	}
 	m.nextID++
-	t := &task{id: id, name: name, program: prog, core: core, jitter: m.rng.Split(), slowJitter: 1}
+	t := &task{id: id, name: name, program: prog, core: core, jitter: m.rng.Split(), slowJitter: 1,
+		cref: m.llc.Ref(id), sample: m.counters.Handle(id)}
 	m.tasks[id] = t
 	m.coreTask[core] = t
 	if m.rec.Enabled(telemetry.KindTaskLaunch) {
@@ -597,13 +653,18 @@ func (m *Machine) SetFreqLevel(core, level int) error {
 	return nil
 }
 
-// commitFreq applies a frequency transition and emits its event.
+// commitFreq applies a frequency transition and emits its event. Any
+// batched quantum-step events are flushed first so the recorded stream keeps
+// strict time order — and so batch-folding sinks (the aggregator's residency
+// accounting) never see a level change inside a batch.
 func (m *Machine) commitFreq(core, level int) {
 	prev := m.coreFreq[core]
 	if prev == level {
 		return
 	}
+	m.flushQuanta()
 	m.coreFreq[core] = level
+	m.coreGHz[core] = m.ladder[core][level]
 	if m.rec.Enabled(telemetry.KindDVFSTransition) {
 		m.rec.Record(telemetry.Event{
 			Kind: telemetry.KindDVFSTransition, At: m.clock.Now(),
@@ -681,6 +742,274 @@ func (m *Machine) LastUtilization() float64 { return m.lastUtilization }
 // Step advances the machine by one quantum and returns any foreground
 // completions that occurred in it.
 func (m *Machine) Step() []Completion {
+	if m.cfg.CompatStepping {
+		return m.stepCompat()
+	}
+	done, _ := m.StepN(1)
+	return done
+}
+
+// StepN advances the machine by up to max quanta in one batched call and
+// returns the last advanced quantum's completions plus how many quanta were
+// advanced. It stops early after any quantum that produced completions, so
+// callers observe completions at exactly the quantum they occur in — the
+// scheduler's completion processing, BG rotation, and policy callbacks all
+// fire at the same simulated instants as quantum-by-quantum stepping.
+// Quantum-step telemetry is accumulated across the batch and flushed in one
+// recorder call on return (and before any mid-batch DVFS commit), keeping
+// the event stream byte-identical to per-quantum emission. max is clamped
+// to [1, maxBatchQuanta].
+func (m *Machine) StepN(max int) ([]Completion, int) {
+	if max < 1 {
+		max = 1
+	}
+	if max > maxBatchQuanta {
+		max = maxBatchQuanta
+	}
+	var done []Completion
+	n := 0
+	for n < max {
+		done = m.stepFast()
+		n++
+		if len(done) > 0 {
+			break
+		}
+	}
+	m.flushQuanta()
+	return done, n
+}
+
+// flushQuanta hands accumulated quantum-step events to the recorder — in
+// one call when the recorder batches, else one Record per event. The buffer
+// is reused; sinks must not retain it (telemetry.QuantumBatcher's contract).
+func (m *Machine) flushQuanta() {
+	if len(m.batchQ) == 0 {
+		return
+	}
+	if m.recBatch != nil {
+		m.recBatch.RecordQuantumSteps(m.batchQ)
+	} else {
+		for i := range m.batchQ {
+			m.rec.Record(m.batchQ[i])
+		}
+	}
+	m.batchQ = m.batchQ[:0]
+}
+
+// stepFast is the skip-ahead engine's quantum: the same physics as
+// stepCompat with every quantum-invariant per-core term (phase, frequency,
+// hit rate, miss rate, jittered base CPI, MLP) hoisted out of the solver
+// loop, and the quantum-step event buffered instead of emitted inline.
+// Every floating-point expression keeps stepCompat's exact form and
+// evaluation order, so the two engines are bit-identical — pinned by
+// TestStepEnginesEquivalent.
+func (m *Machine) stepFast() []Completion {
+	if m.cfg.StepHook != nil {
+		m.cfg.StepHook()
+	}
+	dt := m.cfg.Quantum
+	dtSec := m.quantumSec
+	now := m.clock.Advance()
+
+	// Commit DVFS transitions whose injected actuation latency has elapsed,
+	// before this quantum's frequencies are read. commitFreq flushes the
+	// event batch, so the transition lands in stream order.
+	if m.pendingFreq != nil {
+		for c := range m.pendingFreq {
+			if p := m.pendingFreq[c]; p.level >= 0 && now >= p.at {
+				m.pendingFreq[c].level = -1
+				m.commitFreq(c, p.level)
+			}
+		}
+	}
+
+	// Hoist pass: one traversal computes everything the legacy engine
+	// recomputes per solver iteration and again at commit. Within a quantum
+	// these cannot change — occupancy only moves in llc.Apply below, programs
+	// only advance at commit — and the jitter draws happen here in the same
+	// ascending-core order as the legacy loop, so the RNG streams stay in
+	// lockstep.
+	for c := 0; c < m.cfg.Cores; c++ {
+		m.scratchEff[c] = dtSec
+		if owed := m.overheadOwed[c]; owed > 0 {
+			steal := owed
+			if steal > dt {
+				steal = dt
+			}
+			m.overheadOwed[c] -= steal
+			m.scratchEff[c] = (dt - steal).Seconds()
+		}
+		m.freqResidency[c][m.coreFreq[c]] += dt
+		m.scratchJitter[c] = 1
+		m.scratchPhase[c] = nil
+		t := m.coreTask[c]
+		if t == nil || t.paused {
+			continue
+		}
+		if sigma := t.program.Benchmark().CPIJitter; sigma > 0 {
+			m.scratchJitter[c] = t.jitter.LogNormal(0, sigma)
+		}
+		if m.cfg.SlowJitterSigma > 0 {
+			if now >= t.slowUntil {
+				t.slowJitter = t.jitter.LogNormal(0, m.cfg.SlowJitterSigma)
+				t.slowUntil = now + sim.Time(m.cfg.SlowJitterPeriod)
+			}
+			m.scratchJitter[c] *= t.slowJitter
+		}
+		ph := t.program.Phase()
+		m.scratchPhase[c] = ph
+		m.scratchF[c] = m.coreGHz[c]
+		hit := m.llc.HitRateRef(t.cref, ph.WSSBytes, ph.Locality)
+		m.scratchHit[c] = hit
+		m.scratchMPI[c] = ph.APKI / 1000 * (1 - hit)
+		base := ph.BaseCPI
+		if s := m.cpiScale[c]; s != 1 {
+			base *= s
+		}
+		m.scratchBJ[c] = base * m.scratchJitter[c]
+		m.scratchMLP[c] = ph.EffectiveMLP()
+	}
+
+	// Damped fixed point over memory utilization, reading the hoisted terms.
+	if m.multiSocket {
+		m.solveSocketsFast(dt)
+	} else {
+		u := m.lastUtilization
+		latNs := 0.0
+		for iter := 0; iter < solverIterations; iter++ {
+			latNs = float64(m.memory.Latency(u).Nanoseconds())
+			if latNs <= 0 {
+				latNs = m.memory.LatencyStretch(u) * float64(m.memory.Config().IdleLatency) / float64(time.Nanosecond)
+			}
+			demand := 0.0
+			for c := 0; c < m.cfg.Cores; c++ {
+				m.scratchInstr[c] = 0
+				if m.scratchPhase[c] == nil || m.scratchEff[c] <= 0 {
+					continue
+				}
+				f := m.scratchF[c]
+				missPerInstr := m.scratchMPI[c]
+				cpi := m.scratchBJ[c] + missPerInstr*latNs*f/m.scratchMLP[c]
+				instr := f * 1e9 * m.scratchEff[c] / cpi
+				m.scratchInstr[c] = instr
+				demand += instr * missPerInstr * BytesPerMiss
+			}
+			uNew := m.memory.Utilization(demand, dt)
+			u = 0.5*u + 0.5*uNew
+		}
+	}
+
+	// Commit: counters, cache occupancy, memory stats, program progress.
+	trs := m.scratchTraffic[:cap(m.scratchTraffic)]
+	nTr := 0
+	if m.multiSocket {
+		for s := range m.scratchSockDemand {
+			m.scratchSockDemand[s] = 0
+		}
+	}
+	demand := 0.0
+	totInstr, totMisses := 0.0, 0.0
+	var completions []Completion
+	for c := 0; c < m.cfg.Cores; c++ {
+		ph := m.scratchPhase[c]
+		if ph == nil {
+			continue
+		}
+		t := m.coreTask[c]
+		instr := m.scratchInstr[c]
+		f := m.scratchF[c]
+		accesses := instr * ph.APKI / 1000
+		missRate := 1 - m.scratchHit[c]
+		misses := accesses * missRate
+		demand += misses * BytesPerMiss
+		if m.multiSocket {
+			m.scratchSockDemand[m.coreSocket[c]] += misses * BytesPerMiss
+		}
+		totInstr += instr
+		totMisses += misses
+
+		// Counters: cycles reflect the full quantum at the core's clock
+		// (free-running cycle counter), instructions reflect work done.
+		m.counters.ChargeRef(t.sample, c, perf.Sample{
+			Instructions: instr,
+			Cycles:       f * 1e9 * dtSec,
+			LLCAccesses:  accesses,
+			LLCMisses:    misses,
+		})
+		tr := &trs[nTr]
+		nTr++
+		tr.Task = t.id
+		tr.Accesses = accesses
+		tr.MissRate = missRate
+		tr.WSS = ph.WSSBytes
+		tr.Ref = t.cref
+		if t.program.Advance(instr) {
+			completions = append(completions, Completion{Task: t.id, At: now})
+		}
+	}
+	m.scratchTraffic = trs[:nTr]
+	m.llc.ApplyFast(dt, m.scratchTraffic)
+	if m.multiSocket {
+		m.memory.ApplySockets(m.scratchSockDemand, dt)
+	} else {
+		m.memory.Apply(demand, dt)
+	}
+	m.lastUtilization = m.memory.LastUtilization()
+	if m.rec.Enabled(telemetry.KindQuantumStep) {
+		m.batchQ = append(m.batchQ, telemetry.Event{
+			Kind:         telemetry.KindQuantumStep,
+			At:           now,
+			Utilization:  m.lastUtilization,
+			Instructions: totInstr,
+			LLCMisses:    totMisses,
+			Completions:  len(completions),
+		})
+	}
+	return completions
+}
+
+// solveSocketsFast is solveSockets reading the hoisted per-core terms, with
+// identical expression forms per iteration.
+func (m *Machine) solveSocketsFast(dt time.Duration) {
+	us, lat, dem := m.scratchSockU, m.scratchSockLat, m.scratchSockDemand
+	for s := range us {
+		us[s] = m.memory.LastSocketUtilization(s)
+	}
+	for iter := 0; iter < solverIterations; iter++ {
+		for s := range us {
+			l := float64(m.memory.Latency(us[s]).Nanoseconds())
+			if l <= 0 {
+				l = m.memory.LatencyStretch(us[s]) * float64(m.memory.Config().IdleLatency) / float64(time.Nanosecond)
+			}
+			lat[s] = l
+			dem[s] = 0
+		}
+		for c := 0; c < m.cfg.Cores; c++ {
+			m.scratchInstr[c] = 0
+			if m.scratchPhase[c] == nil || m.scratchEff[c] <= 0 {
+				continue
+			}
+			f := m.scratchF[c]
+			missPerInstr := m.scratchMPI[c]
+			cpi := m.scratchBJ[c] + missPerInstr*lat[m.coreSocket[c]]*f/m.scratchMLP[c]
+			instr := f * 1e9 * m.scratchEff[c] / cpi
+			m.scratchInstr[c] = instr
+			dem[m.coreSocket[c]] += instr * missPerInstr * BytesPerMiss
+		}
+		for s := range us {
+			us[s] = 0.5*us[s] + 0.5*m.memory.UtilizationOn(s, dem[s], dt)
+		}
+	}
+}
+
+// stepCompat is the legacy quantum-by-quantum engine, preserved verbatim as
+// the reference the skip-ahead engine is differenced against (and the
+// baseline the speedup gate times). Selected by Config.CompatStepping. It
+// keeps the original subsystem paths end to end: the uncached PhaseScan
+// lookup, map-based LLC HitRate/Apply, and map-based counter charges — so
+// the gate's baseline is the engine as it shipped, not one that silently
+// borrows the fast path's caches.
+func (m *Machine) stepCompat() []Completion {
 	if m.cfg.StepHook != nil {
 		m.cfg.StepHook()
 	}
@@ -753,7 +1082,7 @@ func (m *Machine) Step() []Completion {
 				if t == nil || t.paused || effSec[c] <= 0 {
 					continue
 				}
-				ph := t.program.Phase()
+				ph := t.program.PhaseScan()
 				f := m.ladder[c][m.coreFreq[c]]
 				hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
 				missPerInstr := ph.APKI / 1000 * (1 - hit)
@@ -787,7 +1116,7 @@ func (m *Machine) Step() []Completion {
 			continue
 		}
 		instr := m.scratchInstr[c]
-		ph := t.program.Phase()
+		ph := t.program.PhaseScan()
 		f := m.ladder[c][m.coreFreq[c]]
 		hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
 		accesses := instr * ph.APKI / 1000
@@ -861,7 +1190,7 @@ func (m *Machine) solveSockets(effSec []float64, dt time.Duration) {
 			if t == nil || t.paused || effSec[c] <= 0 {
 				continue
 			}
-			ph := t.program.Phase()
+			ph := t.program.PhaseScan()
 			f := m.ladder[c][m.coreFreq[c]]
 			hit := m.llc.HitRate(t.id, ph.WSSBytes, ph.Locality)
 			missPerInstr := ph.APKI / 1000 * (1 - hit)
@@ -883,6 +1212,12 @@ func (m *Machine) solveSockets(effSec []float64, dt time.Duration) {
 // Run advances the machine until the given simulated time, invoking onStep
 // (if non-nil) after every quantum with that quantum's completions. It is a
 // convenience for tests and examples; the scheduler drives Step directly.
+//
+// Coverage is ceil-aligned with Step's clock advance: the loop keeps
+// stepping while Now() < until, so when until is not quantum-aligned the
+// final covering quantum still runs in full and its completions are
+// delivered — the machine stops at the first quantum boundary at or after
+// until, never short of it. Pinned by TestRunUnalignedUntil.
 func (m *Machine) Run(until sim.Time, onStep func(now sim.Time, done []Completion)) {
 	for m.clock.Now() < until {
 		done := m.Step()

@@ -1,0 +1,247 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"dirigent/internal/cache"
+	"dirigent/internal/sim"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/workload"
+)
+
+// tinyFG is a jitter-free foreground benchmark whose single execution
+// retires in the third 250 µs quantum at 2 GHz (500 k instructions per
+// quantum at BaseCPI 1), giving tests precise control over completion
+// timing.
+func tinyFG() *workload.Benchmark {
+	return &workload.Benchmark{
+		Name: "tinyfg",
+		Kind: workload.Foreground,
+		Phases: []workload.Phase{
+			{Name: "p", Instructions: 1.3e6, BaseCPI: 1},
+		},
+	}
+}
+
+// buildPair returns two identically-seeded, identically-loaded machines:
+// one on the legacy per-quantum engine, one on the skip-ahead engine.
+func buildPair(t *testing.T) (compat, fast *Machine, tasks []int) {
+	t.Helper()
+	mk := func(compatStepping bool) (*Machine, []int) {
+		cfg := DefaultConfig()
+		cfg.CompatStepping = compatStepping
+		m := MustNew(cfg)
+		bgClass := m.LLC().DefineClass()
+		if err := m.LLC().SetPartition(map[cache.ClassID]int{0: 12, bgClass: 8}); err != nil {
+			t.Fatal(err)
+		}
+		var ids []int
+		for i, spec := range []struct {
+			bench string
+			core  int
+			class cache.ClassID
+		}{
+			{"ferret", 0, 0},
+			{"bwaves", 1, bgClass},
+			{"rs", 2, bgClass},
+			{"lbm", 3, bgClass},
+		} {
+			prog := workload.MustProgram(workload.MustByName(spec.bench))
+			prog.SetOffset(float64(i) * 1e7)
+			id, err := m.Launch(spec.bench, prog, spec.core, spec.class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		return m, ids
+	}
+	compat, tasks = mk(true)
+	fast, fastTasks := mk(false)
+	for i := range tasks {
+		if tasks[i] != fastTasks[i] {
+			t.Fatalf("task handle mismatch: %v vs %v", tasks, fastTasks)
+		}
+	}
+	return compat, fast, tasks
+}
+
+func f64Equal(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestStepEnginesEquivalent drives the same seeded scenario through the
+// legacy engine quantum-by-quantum and through StepN with varying batch
+// sizes — interleaving DVFS requests, pauses/resumes, and runtime-overhead
+// charges at identical simulated instants — and requires bit-identical
+// machine state, counters, completions, telemetry aggregates, and JSONL
+// event streams. This is the contract the skip-ahead fast path must keep:
+// an observational no-op.
+func TestStepEnginesEquivalent(t *testing.T) {
+	compat, fast, tasks := buildPair(t)
+
+	var compatTrace, fastTrace bytes.Buffer
+	compatJSONL := telemetry.NewJSONL(&compatTrace).Include(telemetry.KindQuantumStep)
+	fastJSONL := telemetry.NewJSONL(&fastTrace).Include(telemetry.KindQuantumStep)
+	compatAgg, fastAgg := telemetry.NewAggregator(), telemetry.NewAggregator()
+	compat.SetRecorder(telemetry.Tee(compatAgg, compatJSONL))
+	fast.SetRecorder(telemetry.Tee(fastAgg, fastJSONL))
+
+	// actuate applies the same deterministic control schedule to one machine
+	// at batch boundary i.
+	actuate := func(m *Machine, i int) {
+		if i%5 == 2 {
+			if err := m.SetFreqLevel(1, i%9); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%7 == 3 {
+			if err := m.Pause(tasks[2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%7 == 5 {
+			if err := m.Resume(tasks[2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%3 == 0 {
+			if err := m.ChargeOverhead(3, 40*time.Microsecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for i := 0; i < 400; i++ {
+		actuate(compat, i)
+		actuate(fast, i)
+		max := i%13 + 1
+		fastDone, n := fast.StepN(max)
+		if n < 1 || n > max {
+			t.Fatalf("batch %d: StepN advanced %d quanta, want 1..%d", i, n, max)
+		}
+		var compatDone []Completion
+		for q := 0; q < n; q++ {
+			done := compat.Step()
+			if len(done) > 0 && q != n-1 {
+				t.Fatalf("batch %d: compat completed at quantum %d/%d but StepN did not stop there", i, q+1, n)
+			}
+			compatDone = append(compatDone, done...)
+		}
+		if compat.Now() != fast.Now() {
+			t.Fatalf("batch %d: clocks diverged: %v vs %v", i, compat.Now(), fast.Now())
+		}
+		if len(compatDone) != len(fastDone) {
+			t.Fatalf("batch %d: completions diverged: %v vs %v", i, compatDone, fastDone)
+		}
+		for j := range compatDone {
+			if compatDone[j] != fastDone[j] {
+				t.Fatalf("batch %d: completion %d diverged: %v vs %v", i, j, compatDone[j], fastDone[j])
+			}
+		}
+	}
+
+	if !f64Equal(compat.LastUtilization(), fast.LastUtilization()) {
+		t.Errorf("memory utilization diverged: %g vs %g", compat.LastUtilization(), fast.LastUtilization())
+	}
+	for _, id := range tasks {
+		cs := compat.Counters().Task(id)
+		fs := fast.Counters().Task(id)
+		if !f64Equal(cs.Instructions, fs.Instructions) || !f64Equal(cs.Cycles, fs.Cycles) ||
+			!f64Equal(cs.LLCAccesses, fs.LLCAccesses) || !f64Equal(cs.LLCMisses, fs.LLCMisses) {
+			t.Errorf("task %d counters diverged: %+v vs %+v", id, cs, fs)
+		}
+	}
+	for c := 0; c < compat.NumCores(); c++ {
+		cr, err := compat.FreqResidency(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := fast.FreqResidency(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range cr {
+			if cr[l] != fr[l] {
+				t.Errorf("core %d level %d residency diverged: %v vs %v", c, l, cr[l], fr[l])
+			}
+		}
+	}
+	if compatAgg.Quanta() != fastAgg.Quanta() {
+		t.Errorf("aggregated quanta diverged: %d vs %d", compatAgg.Quanta(), fastAgg.Quanta())
+	}
+	if !f64Equal(compatAgg.Instructions(), fastAgg.Instructions()) {
+		t.Errorf("aggregated instructions diverged: %g vs %g", compatAgg.Instructions(), fastAgg.Instructions())
+	}
+	if !f64Equal(compatAgg.LLCMisses(), fastAgg.LLCMisses()) {
+		t.Errorf("aggregated LLC misses diverged: %g vs %g", compatAgg.LLCMisses(), fastAgg.LLCMisses())
+	}
+	for c := 0; c < compat.NumCores(); c++ {
+		cr, fr := compatAgg.FreqResidency(c), fastAgg.FreqResidency(c)
+		for l := range cr {
+			if cr[l] != fr[l] {
+				t.Errorf("aggregated core %d level %d residency diverged: %v vs %v", c, l, cr[l], fr[l])
+			}
+		}
+	}
+	if !bytes.Equal(compatTrace.Bytes(), fastTrace.Bytes()) {
+		t.Errorf("JSONL event streams diverged (%d vs %d bytes)", compatTrace.Len(), fastTrace.Len())
+	}
+	if compatTrace.Len() == 0 {
+		t.Error("JSONL trace empty; equivalence vacuous")
+	}
+}
+
+// TestStepNEarlyStop pins StepN's completion semantics: a batch stops at the
+// quantum that produces a completion, reporting exactly how far it got.
+func TestStepNEarlyStop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SlowJitterSigma = 0
+	m := MustNew(cfg)
+	id, err := m.Launch("tinyfg", workload.MustProgram(tinyFG()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, n := m.StepN(10)
+	if n != 3 {
+		t.Fatalf("StepN advanced %d quanta, want 3 (completion in the third)", n)
+	}
+	if len(done) != 1 || done[0].Task != id {
+		t.Fatalf("completions = %v, want one for task %d", done, id)
+	}
+	if want := sim.Time(3 * cfg.Quantum); done[0].At != want || m.Now() != want {
+		t.Fatalf("completion at %v (now %v), want %v", done[0].At, m.Now(), want)
+	}
+}
+
+// TestRunUnalignedUntil pins Run's ceil coverage: an until between quantum
+// boundaries still runs the covering quantum in full, and completions that
+// land in that final partial quantum are delivered, not dropped.
+func TestRunUnalignedUntil(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SlowJitterSigma = 0
+	m := MustNew(cfg)
+	id, err := m.Launch("tinyfg", workload.MustProgram(tinyFG()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The completion lands in the third quantum (500–750 µs); until cuts
+	// into that quantum.
+	until := sim.Time(2*cfg.Quantum) + sim.Time(cfg.Quantum)/2
+	var got []Completion
+	steps := 0
+	m.Run(until, func(now sim.Time, done []Completion) {
+		steps++
+		got = append(got, done...)
+	})
+	if want := sim.Time(3 * cfg.Quantum); m.Now() != want {
+		t.Fatalf("Run stopped at %v, want quantum boundary %v", m.Now(), want)
+	}
+	if steps != 3 {
+		t.Fatalf("Run stepped %d quanta, want 3", steps)
+	}
+	if len(got) != 1 || got[0].Task != id || got[0].At != sim.Time(3*cfg.Quantum) {
+		t.Fatalf("final-quantum completions = %v, want one for task %d at %v", got, id, sim.Time(3*cfg.Quantum))
+	}
+}

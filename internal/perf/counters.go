@@ -108,6 +108,28 @@ func (c *Counters) Charge(task, core int, delta Sample) error {
 	return nil
 }
 
+// Handle returns a stable pointer to a task's cumulative Sample, creating
+// the task on first use exactly like Charge. The machine's skip-ahead engine
+// resolves it once per task and charges through it, skipping the per-quantum
+// map lookup. The handle detaches (keeps accumulating invisibly) if the task
+// is later ResetTask'd or the file Reset.
+func (c *Counters) Handle(task int) *Sample {
+	t, ok := c.tasks[task]
+	if !ok {
+		t = &Sample{}
+		c.tasks[task] = t
+	}
+	return t
+}
+
+// ChargeRef is Charge through a resolved Handle: the identical accumulation
+// arithmetic with no map lookup or core-range check (the machine charges
+// cores it validated at construction).
+func (c *Counters) ChargeRef(t *Sample, core int, delta Sample) {
+	*t = t.Add(delta)
+	c.cores[core] = c.cores[core].Add(delta)
+}
+
 // Task returns the cumulative counters of a task (zero Sample if the task
 // never ran).
 func (c *Counters) Task(task int) Sample {

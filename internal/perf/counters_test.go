@@ -146,3 +146,66 @@ func TestResets(t *testing.T) {
 		t.Error("Reset should zero everything")
 	}
 }
+
+// TestChargeRefMatchesCharge pins the handle-based charging path (what the
+// machine's skip-ahead engine uses) to Charge: the same sequence of deltas
+// through either API must leave identical task, core, and total counters.
+func TestChargeRefMatchesCharge(t *testing.T) {
+	a := MustNew(3)
+	b := MustNew(3)
+	h1, h2 := b.Handle(1), b.Handle(2)
+
+	// Handle creates the task like a first Charge would; it must still read
+	// as zero until charged.
+	if got := b.Task(1); got != (Sample{}) {
+		t.Errorf("fresh Handle task reads %+v, want zero", got)
+	}
+
+	deltas := []struct {
+		task, core int
+		d          Sample
+	}{
+		{1, 0, Sample{Instructions: 100, Cycles: 250, LLCAccesses: 10, LLCMisses: 4}},
+		{2, 1, Sample{Instructions: 70, Cycles: 300, LLCAccesses: 25, LLCMisses: 19}},
+		{1, 0, Sample{Instructions: 55.5, Cycles: 125.25, LLCAccesses: 3.125, LLCMisses: 0.5}},
+		{1, 2, Sample{Instructions: 1e9, Cycles: 2e9, LLCAccesses: 1e7, LLCMisses: 3e6}},
+		{2, 1, Sample{}},
+	}
+	for _, ch := range deltas {
+		if err := a.Charge(ch.task, ch.core, ch.d); err != nil {
+			t.Fatal(err)
+		}
+		h := h1
+		if ch.task == 2 {
+			h = h2
+		}
+		b.ChargeRef(h, ch.core, ch.d)
+	}
+	for task := 1; task <= 2; task++ {
+		if av, bv := a.Task(task), b.Task(task); av != bv {
+			t.Errorf("task %d: Charge %+v, ChargeRef %+v", task, av, bv)
+		}
+	}
+	for core := 0; core < 3; core++ {
+		av, err := a.Core(core)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := b.Core(core)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if av != bv {
+			t.Errorf("core %d: Charge %+v, ChargeRef %+v", core, av, bv)
+		}
+	}
+	if at, bt := a.Total(), b.Total(); at != bt {
+		t.Errorf("totals diverged: %+v vs %+v", at, bt)
+	}
+
+	// A Handle resolved after charges sees the accumulated state, and is the
+	// same pointer Charge has been feeding.
+	if got := *b.Handle(1); got != b.Task(1) {
+		t.Errorf("re-resolved handle reads %+v, want %+v", got, b.Task(1))
+	}
+}

@@ -147,6 +147,11 @@ type Colocation struct {
 
 	onComplete []func(stream int, e Execution)
 	rng        *sim.Rand
+
+	// compat mirrors the machine's CompatStepping flag: batched loops
+	// degrade to quantum-by-quantum stepping when the legacy engine is
+	// selected.
+	compat bool
 }
 
 // Options configures a Colocation.
@@ -178,6 +183,7 @@ func New(m *machine.Machine, fg []*workload.Benchmark, bg []BGSpec, opts Options
 		fgClass: opts.FGClass,
 		bgClass: opts.BGClass,
 		rng:     sim.NewRand(opts.Seed ^ 0xd161e47), // "dirigent" mix constant
+		compat:  m.Config().CompatStepping,
 	}
 	for i, b := range fg {
 		if b.Kind != workload.Foreground {
@@ -413,7 +419,22 @@ func (c *Colocation) BGInstructions() float64 {
 // FG execution stats, restarts the stream (implicitly — programs wrap), and
 // rotates rotate-BG workers.
 func (c *Colocation) Step() {
-	done := c.m.Step()
+	c.handleCompletions(c.m.Step())
+}
+
+// StepN advances the machine by up to max quanta in one skip-ahead batch
+// (stopping early at the first quantum with FG completions, so completion
+// processing happens at the same simulated instants as quantum-by-quantum
+// stepping) and returns how many quanta were advanced.
+func (c *Colocation) StepN(max int) int {
+	done, n := c.m.StepN(max)
+	c.handleCompletions(done)
+	return n
+}
+
+// handleCompletions processes one quantum's completions exactly as Step
+// always has: execution stats, telemetry, callbacks, BG rotation.
+func (c *Colocation) handleCompletions(done []machine.Completion) {
 	for _, comp := range done {
 		for i, f := range c.fgs {
 			if f.Task != comp.Task {
@@ -450,11 +471,27 @@ func (c *Colocation) Step() {
 	}
 }
 
-// Run advances until the given simulated time.
+// Run advances until the given simulated time, batching quanta through the
+// skip-ahead engine (interrupted only by FG completions, which need
+// processing at their exact instants). Coverage is ceil-aligned exactly like
+// machine.Run.
 func (c *Colocation) Run(until sim.Time) {
-	for c.m.Now() < until {
-		c.Step()
+	if c.compat {
+		for c.m.Now() < until {
+			c.Step()
+		}
+		return
 	}
+	for c.m.Now() < until {
+		c.StepN(c.quantaUntil(until))
+	}
+}
+
+// quantaUntil returns how many quanta remain until limit, ceil-aligned with
+// the clock advance (at least 1 when Now() < limit).
+func (c *Colocation) quantaUntil(limit sim.Time) int {
+	q := sim.Time(c.m.Config().Quantum)
+	return int((limit - c.m.Now() + q - 1) / q)
 }
 
 // RunExecutions advances until every FG stream has at least n completed
@@ -478,7 +515,14 @@ func (c *Colocation) RunExecutions(n int, limit sim.Time) error {
 		if c.m.Now() >= limit {
 			return fmt.Errorf("sched: only %d/%d executions within %v", minDone, n, time.Duration(limit))
 		}
-		c.Step()
+		if c.compat {
+			c.Step()
+		} else {
+			// Completion counts only change when a batch stops (at a
+			// completion or at the limit), so checking between batches
+			// observes exactly the states the per-quantum loop did.
+			c.StepN(c.quantaUntil(limit))
+		}
 	}
 }
 

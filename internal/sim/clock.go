@@ -106,6 +106,10 @@ func MustTicker(period time.Duration) *Ticker {
 // Period returns the ticker period.
 func (t *Ticker) Period() time.Duration { return t.period }
 
+// NextDue returns the next time Fire will report true — the deadline the
+// skip-ahead stepper must not batch across.
+func (t *Ticker) NextDue() Time { return t.next }
+
 // Fire reports whether the ticker is due at time now, and if so advances the
 // deadline. If the caller skipped past several periods, Fire catches up one
 // period per call, so no tick is silently lost.

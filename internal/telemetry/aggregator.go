@@ -181,6 +181,23 @@ func (a *Aggregator) Record(ev Event) {
 	}
 }
 
+// RecordQuantumSteps folds a run of consecutive quantum-step events in one
+// call — the machine's skip-ahead fast path. The per-event float
+// accumulators are added in stream order (identical rounding to Record);
+// the per-core residency advance is integer arithmetic and is folded to one
+// multiply per core, which is exact because the machine flushes a batch
+// before any DVFS transition can change a core's level mid-batch.
+func (a *Aggregator) RecordQuantumSteps(evs []Event) {
+	a.quanta += int64(len(evs))
+	for i := range evs {
+		a.instructions += evs[i].Instructions
+		a.llcMisses += evs[i].LLCMisses
+	}
+	for c := range a.curLevel {
+		a.residency[c][a.curLevel[c]] += a.quantum * time.Duration(len(evs))
+	}
+}
+
 // Started reports whether a KindMachineStart event has been seen.
 func (a *Aggregator) Started() bool { return a.started }
 

@@ -7,6 +7,16 @@ import (
 	"sync"
 )
 
+// jsonlRetainBytes caps the encode buffer retained between events: a
+// pathologically large event (e.g. a huge run label) grows the buffer for
+// one write, after which it is released rather than pinned for the rest of
+// the sink's life.
+const jsonlRetainBytes = 64 << 10
+
+// jsonlInitialBytes is the encode buffer's starting capacity, comfortably
+// above every ordinary event line.
+const jsonlInitialBytes = 256
+
 // JSONL writes one JSON object per event, newline-delimited — a trace
 // suitable for offline replay, diffing, and external tooling. Encoding is
 // hand-rolled so field order is stable and only the fields meaningful for
@@ -31,7 +41,7 @@ type JSONL struct {
 // NewJSONL returns a JSONL recorder writing to w. The caller is
 // responsible for buffering and closing w.
 func NewJSONL(w io.Writer) *JSONL {
-	j := &JSONL{w: w, buf: make([]byte, 0, 256)}
+	j := &JSONL{w: w, buf: make([]byte, 0, jsonlInitialBytes)}
 	for k := Kind(1); k < numKinds; k++ {
 		j.enabled[k] = k != KindQuantumStep
 	}
@@ -95,11 +105,75 @@ func (j *JSONL) Record(ev Event) {
 		return
 	}
 	j.buf = appendEvent(j.buf[:0], ev)
-	if _, err := j.w.Write(j.buf); err != nil {
+	j.writeBuf(1)
+}
+
+// RecordQuantumSteps encodes a run of consecutive quantum-step events into
+// the reused buffer and writes them in one call — the machine's skip-ahead
+// fast path amortizes the lock and the write syscall over the whole batch,
+// with zero per-event allocation.
+func (j *JSONL) RecordQuantumSteps(evs []Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || !j.enabled[KindQuantumStep] {
+		return
+	}
+	j.buf = j.buf[:0]
+	for i := range evs {
+		j.buf = appendEvent(j.buf, evs[i])
+	}
+	j.writeBuf(int64(len(evs)))
+}
+
+// writeBuf flushes the encode buffer to the writer, recording the sink's
+// first error and shrinking the buffer after a pathologically large encode.
+// Callers hold j.mu.
+func (j *JSONL) writeBuf(events int64) {
+	_, err := j.w.Write(j.buf)
+	if cap(j.buf) > jsonlRetainBytes {
+		j.buf = make([]byte, 0, jsonlInitialBytes)
+	}
+	if err != nil {
 		j.err = fmt.Errorf("telemetry: jsonl write: %w", err)
 		return
 	}
-	j.events++
+	j.events += events
+}
+
+// Flush forwards to the underlying writer's Flush when it has one (e.g. a
+// bufio.Writer) and returns the first error the sink has seen — either a
+// prior dropped write error or the flush's own. Events recorded after an
+// error are silently dropped, so call Flush (or Close) before trusting a
+// trace to be complete.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if f, ok := j.w.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			j.err = fmt.Errorf("telemetry: jsonl flush: %w", err)
+		}
+	}
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes it.
+// Like Flush it surfaces the first error observed over the sink's lifetime;
+// a close error is reported only when no earlier error is pending.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		cerr := c.Close()
+		if err == nil && cerr != nil {
+			j.err = fmt.Errorf("telemetry: jsonl close: %w", cerr)
+			err = j.err
+		}
+	}
+	return err
 }
 
 // AppendJSON appends ev encoded exactly as one JSONL trace line (including

@@ -290,6 +290,20 @@ type Recorder interface {
 	Record(ev Event)
 }
 
+// QuantumBatcher is an optional Recorder extension for the machine's
+// skip-ahead fast path: a sink implementing it receives a run of
+// consecutive KindQuantumStep events in one call instead of one Record per
+// quantum. RecordQuantumSteps must be observationally identical to calling
+// Record on each event in order. The machine guarantees no other event is
+// emitted inside a batch (it flushes before e.g. a DVFS transition), so
+// batch-aware sinks may fold per-batch state — the aggregator advances
+// frequency residency once per batch — without changing results.
+// Implementations must not retain or mutate evs: the slice is the
+// machine's reused buffer.
+type QuantumBatcher interface {
+	RecordQuantumSteps(evs []Event)
+}
+
 // nop is the zero-cost default recorder.
 type nop struct{}
 
@@ -354,10 +368,31 @@ func (t *tee) Record(ev Event) {
 	}
 }
 
+// RecordQuantumSteps forwards a batch to every sink, using each sink's own
+// batch path when it has one.
+func (t *tee) RecordQuantumSteps(evs []Event) {
+	for _, s := range t.sinks {
+		if !s.Enabled(KindQuantumStep) {
+			continue
+		}
+		if qb, ok := s.(QuantumBatcher); ok {
+			qb.RecordQuantumSteps(evs)
+			continue
+		}
+		for i := range evs {
+			s.Record(evs[i])
+		}
+	}
+}
+
 // runScope stamps a run label onto every event.
 type runScope struct {
 	r   Recorder
 	run string
+
+	// scratch holds the stamped copy of a quantum-step batch: the incoming
+	// slice is the machine's reused buffer and must not be mutated.
+	scratch []Event
 }
 
 // WithRun wraps r so every recorded event carries the given run label; use
@@ -377,10 +412,28 @@ func (s *runScope) Record(ev Event) {
 	s.r.Record(ev)
 }
 
+// RecordQuantumSteps stamps the run label onto a private copy of the batch
+// and forwards it.
+func (s *runScope) RecordQuantumSteps(evs []Event) {
+	s.scratch = append(s.scratch[:0], evs...)
+	for i := range s.scratch {
+		s.scratch[i].Run = s.run
+	}
+	if qb, ok := s.r.(QuantumBatcher); ok {
+		qb.RecordQuantumSteps(s.scratch)
+		return
+	}
+	for i := range s.scratch {
+		s.r.Record(s.scratch[i])
+	}
+}
+
 // policyScope stamps a policy label onto every event.
 type policyScope struct {
 	r      Recorder
 	policy string
+
+	scratch []Event
 }
 
 // WithPolicy wraps r so every recorded event carries the given QoS-policy
@@ -399,4 +452,20 @@ func (s *policyScope) Enabled(k Kind) bool { return s.r.Enabled(k) }
 func (s *policyScope) Record(ev Event) {
 	ev.Policy = s.policy
 	s.r.Record(ev)
+}
+
+// RecordQuantumSteps stamps the policy label onto a private copy of the
+// batch and forwards it.
+func (s *policyScope) RecordQuantumSteps(evs []Event) {
+	s.scratch = append(s.scratch[:0], evs...)
+	for i := range s.scratch {
+		s.scratch[i].Policy = s.policy
+	}
+	if qb, ok := s.r.(QuantumBatcher); ok {
+		qb.RecordQuantumSteps(s.scratch)
+		return
+	}
+	for i := range s.scratch {
+		s.r.Record(s.scratch[i])
+	}
 }

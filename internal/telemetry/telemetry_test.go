@@ -356,3 +356,121 @@ func TestJSONLPolicyField(t *testing.T) {
 		t.Errorf("unlabelled event must omit the policy field: %s", buf.String())
 	}
 }
+
+// flushCloseWriter is an in-memory writer with controllable Flush/Close
+// behaviour, for exercising the JSONL lifecycle paths.
+type flushCloseWriter struct {
+	bytes.Buffer
+	flushErr error
+	closeErr error
+	flushes  int
+	closes   int
+}
+
+func (f *flushCloseWriter) Flush() error { f.flushes++; return f.flushErr }
+func (f *flushCloseWriter) Close() error { f.closes++; return f.closeErr }
+
+func TestJSONLFlushCloseSurfaceErrors(t *testing.T) {
+	// A dropped write error is what Flush and Close return later.
+	j := NewJSONL(&failWriter{n: 0})
+	j.Record(Event{Kind: KindTaskLaunch})
+	if err := j.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Flush must surface the first write error, got %v", err)
+	}
+	if err := j.Close(); err == nil {
+		t.Fatal("Close must surface the first write error")
+	}
+
+	// Flush forwards to the writer's own Flush and wraps its error; the
+	// error is sticky, so later events are dropped.
+	fw := &flushCloseWriter{flushErr: errors.New("pipe gone")}
+	j2 := NewJSONL(fw)
+	j2.Record(Event{Kind: KindTaskLaunch})
+	if err := j2.Flush(); err == nil || !strings.Contains(err.Error(), "pipe gone") {
+		t.Fatalf("Flush error = %v", err)
+	}
+	j2.Record(Event{Kind: KindTaskLaunch})
+	if j2.Events() != 1 {
+		t.Errorf("Events() = %d after flush error, want 1", j2.Events())
+	}
+
+	// Close flushes first, then closes; a close error is reported when no
+	// earlier error is pending.
+	fw3 := &flushCloseWriter{closeErr: errors.New("already closed")}
+	j3 := NewJSONL(fw3)
+	j3.Record(Event{Kind: KindTaskLaunch})
+	if err := j3.Close(); err == nil || !strings.Contains(err.Error(), "already closed") {
+		t.Fatalf("Close error = %v", err)
+	}
+	if fw3.flushes != 1 || fw3.closes != 1 {
+		t.Errorf("flushes=%d closes=%d, want 1/1", fw3.flushes, fw3.closes)
+	}
+
+	// Fully clean sink: nil all the way through.
+	fw4 := &flushCloseWriter{}
+	j4 := NewJSONL(fw4)
+	j4.Record(Event{Kind: KindTaskLaunch})
+	if err := j4.Close(); err != nil {
+		t.Fatalf("clean Close = %v", err)
+	}
+	if fw4.flushes != 1 || fw4.closes != 1 {
+		t.Errorf("clean path: flushes=%d closes=%d, want 1/1", fw4.flushes, fw4.closes)
+	}
+}
+
+func TestJSONLBufferShrinksAfterLargeEvent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	huge := strings.Repeat("x", 2*jsonlRetainBytes)
+	j.Record(Event{Kind: KindTaskLaunch, Name: huge})
+	if c := cap(j.buf); c > jsonlRetainBytes {
+		t.Errorf("encode buffer retains %d bytes after pathological event, cap is %d",
+			c, jsonlRetainBytes)
+	}
+	if !strings.Contains(buf.String(), huge) {
+		t.Error("pathological event must still be written intact")
+	}
+	// The sink keeps working after the shrink.
+	j.Record(Event{Kind: KindTaskLaunch, Name: "small"})
+	if j.Events() != 2 || j.Err() != nil {
+		t.Errorf("post-shrink: events=%d err=%v", j.Events(), j.Err())
+	}
+}
+
+func TestJSONLBatchMatchesPerEvent(t *testing.T) {
+	evs := []Event{
+		{Kind: KindQuantumStep, At: 250000, Utilization: 0.5, Instructions: 1e6, LLCMisses: 42},
+		{Kind: KindQuantumStep, At: 500000, Utilization: 0.75, Instructions: 2e6, LLCMisses: 7, Run: "m1/Baseline"},
+		{Kind: KindQuantumStep, At: 750000, Instructions: 3e6, Completions: 1, Policy: "dirigent"},
+	}
+	var one, batch bytes.Buffer
+	j1 := NewJSONL(&one).Include(KindQuantumStep)
+	for _, ev := range evs {
+		j1.Record(ev)
+	}
+	j2 := NewJSONL(&batch).Include(KindQuantumStep)
+	j2.RecordQuantumSteps(evs)
+	if !bytes.Equal(one.Bytes(), batch.Bytes()) {
+		t.Errorf("batched encoding differs from per-event encoding:\n%s\nvs\n%s",
+			one.String(), batch.String())
+	}
+	if j2.Events() != int64(len(evs)) {
+		t.Errorf("batch Events() = %d, want %d", j2.Events(), len(evs))
+	}
+
+	// With quantum steps excluded (the default), the batch is a no-op.
+	var none bytes.Buffer
+	j3 := NewJSONL(&none)
+	j3.RecordQuantumSteps(evs)
+	if j3.Events() != 0 || none.Len() != 0 {
+		t.Error("excluded-kind batch must write nothing")
+	}
+
+	// After a write error, batches are dropped like single events.
+	j4 := NewJSONL(&failWriter{n: 0}).Include(KindQuantumStep)
+	j4.Record(Event{Kind: KindQuantumStep})
+	j4.RecordQuantumSteps(evs)
+	if j4.Events() != 0 {
+		t.Errorf("post-error batch recorded %d events", j4.Events())
+	}
+}

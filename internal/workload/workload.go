@@ -150,6 +150,16 @@ type Program struct {
 	bench    *Benchmark
 	executed float64 // instructions completed in the current pass
 	total    float64
+
+	// Cached phase lookup: phases[phase] covers executed positions in
+	// [phaseStart, phaseEnd). The machine's solver asks for the current
+	// phase several times per quantum while a phase spans thousands of
+	// quanta, so Phase would otherwise rescan the cumulative sums on every
+	// call. The guard range makes the cache self-invalidating under
+	// Advance/Reset/SetOffset — any position outside it rescans.
+	phase      int
+	phaseStart float64
+	phaseEnd   float64
 }
 
 // NewProgram validates the benchmark and returns a program positioned at
@@ -182,6 +192,30 @@ func (p *Program) Remaining() float64 { return p.total - p.executed }
 
 // Phase returns the phase the program is currently executing.
 func (p *Program) Phase() *Phase {
+	if p.executed >= p.phaseStart && p.executed < p.phaseEnd {
+		return &p.bench.Phases[p.phase]
+	}
+	cum := 0.0
+	for i := range p.bench.Phases {
+		start := cum
+		cum += p.bench.Phases[i].Instructions
+		if p.executed < cum {
+			p.phase, p.phaseStart, p.phaseEnd = i, start, cum
+			return &p.bench.Phases[i]
+		}
+	}
+	// At or past the end (only transiently visible for FG right at
+	// completion): report the last phase, uncached so the position after the
+	// wrap rescans.
+	return &p.bench.Phases[len(p.bench.Phases)-1]
+}
+
+// PhaseScan is Phase without the cache: it rescans the cumulative phase sums
+// on every call, exactly as Phase did before the window cache existed. The
+// compat step engine calls it so the skip-ahead speedup gate times the
+// engine as it originally shipped; both return the same *Phase for every
+// position (pinned by TestProgramPhaseCache's sweep).
+func (p *Program) PhaseScan() *Phase {
 	cum := 0.0
 	for i := range p.bench.Phases {
 		cum += p.bench.Phases[i].Instructions
@@ -189,8 +223,6 @@ func (p *Program) Phase() *Phase {
 			return &p.bench.Phases[i]
 		}
 	}
-	// At or past the end (only transiently visible for FG right at
-	// completion): report the last phase.
 	return &p.bench.Phases[len(p.bench.Phases)-1]
 }
 

@@ -236,3 +236,77 @@ func TestSetOffsetStaysInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestProgramPhaseCache pins the cached phase lookup: repeated calls inside
+// one phase return the same phase without a rescan moving the cache window,
+// and Advance/Reset/SetOffset each invalidate the window so the next call
+// rescans to the right phase.
+func TestProgramPhaseCache(t *testing.T) {
+	b := &Benchmark{Name: "x", Kind: Background, Phases: []Phase{
+		{Name: "a", Instructions: 100, BaseCPI: 1, APKI: 1, WSSBytes: 1 << 20, Locality: 0.5},
+		{Name: "b", Instructions: 200, BaseCPI: 1, APKI: 1, WSSBytes: 1 << 20, Locality: 0.5},
+		{Name: "c", Instructions: 300, BaseCPI: 1, APKI: 1, WSSBytes: 1 << 20, Locality: 0.5},
+	}}
+	p := MustProgram(b)
+
+	// First call populates the cache for phase a: window [0, 100).
+	if ph := p.Phase(); ph.Name != "a" {
+		t.Fatalf("at 0: phase %s, want a", ph.Name)
+	}
+	if p.phaseStart != 0 || p.phaseEnd != 100 {
+		t.Fatalf("cache window [%g, %g), want [0, 100)", p.phaseStart, p.phaseEnd)
+	}
+	// Calls within the window hit the cache (window unchanged, same phase).
+	p.Advance(50)
+	if ph := p.Phase(); ph.Name != "a" || p.phase != 0 {
+		t.Fatalf("at 50: phase %s", ph.Name)
+	}
+
+	// Crossing into phase b invalidates and rescans.
+	p.Advance(75) // executed = 125
+	if ph := p.Phase(); ph.Name != "b" {
+		t.Fatalf("at 125: phase %s, want b", ph.Name)
+	}
+	if p.phaseStart != 100 || p.phaseEnd != 300 {
+		t.Fatalf("cache window [%g, %g), want [100, 300)", p.phaseStart, p.phaseEnd)
+	}
+
+	// SetOffset far ahead: stale window must not satisfy the lookup.
+	p.SetOffset(450)
+	if ph := p.Phase(); ph.Name != "c" {
+		t.Fatalf("after SetOffset(450): phase %s, want c", ph.Name)
+	}
+
+	// Reset rewinds; the c-window cache cannot claim position 0.
+	p.Reset()
+	if ph := p.Phase(); ph.Name != "a" {
+		t.Fatalf("after Reset: phase %s, want a", ph.Name)
+	}
+
+	// Background wrap: executed returns below the window start.
+	p.SetOffset(550)
+	if ph := p.Phase(); ph.Name != "c" {
+		t.Fatalf("at 550: phase %s, want c", ph.Name)
+	}
+	p.Advance(100) // wraps to 50
+	if ph := p.Phase(); ph.Name != "a" {
+		t.Fatalf("after wrap to 50: phase %s, want a", ph.Name)
+	}
+
+	// Result must always match an uncached rescan at every position — both
+	// the forced-rescan form and PhaseScan, the compat step engine's lookup.
+	// Phase and PhaseScan must also return the same *Phase pointer, since
+	// both engines hand it to the same solver.
+	fresh := MustProgram(b)
+	for pos := 0.0; pos < 600; pos += 37 {
+		p.SetOffset(pos)
+		fresh.SetOffset(pos)
+		fresh.phaseStart, fresh.phaseEnd = 0, 0 // force rescan
+		if got, want := p.Phase().Name, fresh.Phase().Name; got != want {
+			t.Errorf("at %g: cached %s, rescan %s", pos, got, want)
+		}
+		if got, want := p.PhaseScan(), p.Phase(); got != want {
+			t.Errorf("at %g: PhaseScan %s != Phase %s", pos, got.Name, want.Name)
+		}
+	}
+}

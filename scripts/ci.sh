@@ -9,6 +9,8 @@
 #   scripts/ci.sh -short      # same legs, but skip the long end-to-end tests
 #   scripts/ci.sh -bench      # additionally run the perf/QoS regression gate
 #                             # (dirigent-ci -check against the latest BENCH_<n>.json)
+#                             # and the skip-ahead speedup gate (dirigent-ci
+#                             # -skipahead, hard fail below 2x)
 #   scripts/ci.sh -scenarios  # additionally run the declarative scenario suite
 #                             # (dirigent-ci -scenarios against scenarios/*.json)
 #
@@ -76,6 +78,9 @@ leg "dirigent-serve -selfcheck (server API smoke)" run_serve
 
 if $bench; then
 	leg "dirigent-ci -check" go run ./cmd/dirigent-ci -check
+	# The speedup is a ratio of two runs on this same machine, so unlike the
+	# wall-clock metrics it needs no recorded baseline to gate hard.
+	leg "dirigent-ci -skipahead" go run ./cmd/dirigent-ci -skipahead
 fi
 
 if $scenarios; then
