@@ -27,6 +27,7 @@ import (
 
 	"dirigent/internal/analysis"
 	"dirigent/internal/benchreg"
+	"dirigent/internal/load"
 	"dirigent/internal/scenario"
 )
 
@@ -98,6 +99,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("dirigent-ci: selftest ok — every lint analyzer catches its seeded fixture violation")
+		logf("running load-generator selftest")
+		if err := load.SelfTest(logf); err != nil {
+			fatal(err)
+		}
+		fmt.Println("dirigent-ci: selftest ok — the load gates catch nondeterministic traces and dropped events")
 
 	case *skipahead:
 		logf("measuring skip-ahead speedup (compat vs batched engine, %d QoS executions)", opts.Executions)

@@ -180,11 +180,13 @@ func DefaultConfig() *Config {
 		Allow: map[string][]string{
 			"walltime": {
 				"internal/benchreg", // wall-clock benchmark harness
+				"internal/load",     // open-loop replay schedules in wall time
 				"internal/server",   // serving deadlines are real time
 			},
 			"nondetsched": {
 				"internal/benchreg",   // parallel probe sampling
 				"internal/experiment", // sweep fan-out (DIRIGENT_MAX_PARALLEL)
+				"internal/load",       // concurrent open-loop dispatch
 				"internal/scenario",   // suite fan-out over seeded sessions
 				"internal/server",     // request handling is concurrent
 				"internal/telemetry",  // sink fan-out

@@ -1,0 +1,105 @@
+package benchreg
+
+import (
+	"fmt"
+
+	"dirigent/internal/load"
+	"dirigent/internal/server"
+)
+
+// loadProbeSpec is the pinned load-generator probe: a short bursty churn
+// across a runtime and a non-runtime template. Synthesis counts are seeded
+// and exact; the replay latency is wall-clock and therefore Perf-gated
+// (warn on drift, never fail). Like the resilience probes, the structural
+// invariants are enforced here, not just recorded: a probe replay that
+// fails operations, leaks tenants, or loses creates is a hard error. The
+// late-drop budget is disabled for the probe — how far the schedule slips
+// is wall-clock (a -race run on a loaded single-core box slips past any
+// fixed budget), and drop detection is already proven by load.SelfTest's
+// strangled replay and gated at CI speed by the ci.sh smoke leg.
+func loadProbeSpec() load.Spec {
+	return load.Spec{
+		Name:             "benchreg-load",
+		Seed:             1789,
+		DurationS:        3,
+		Arrival:          load.ArrivalSpec{Model: load.ModelBursty, RatePerS: 3, BurstFactor: 2, OnS: 0.75, OffS: 0.75},
+		Lifetime:         load.LifetimeSpec{MeanS: 1, MinS: 0.2},
+		RetargetRatePerS: 0.5,
+		MaxLive:          6,
+		Tenants: []load.TenantTemplate{
+			{
+				Name: "rt", Weight: 3,
+				Mix:        load.MixSpec{FG: []string{"ferret"}, BG: []string{"pca"}},
+				TargetMS:   []float64{1500},
+				Executions: 5,
+			},
+			{
+				Name: "base", Weight: 1, Config: "Baseline",
+				Mix:        load.MixSpec{FG: []string{"bodytrack"}, BG: []string{"pca"}},
+				TargetMS:   []float64{2000},
+				Executions: 5,
+			},
+		},
+	}
+}
+
+// loadProbe synthesizes the pinned probe trace (gating byte-determinism and
+// recording its exact event counts) and replays it against a fresh
+// in-process server, recording API create latency as a Perf metric.
+func loadProbe(o Options) ([]Metric, error) {
+	spec := loadProbeSpec()
+	if err := load.CheckDeterminism(spec, 0); err != nil {
+		return nil, fmt.Errorf("benchreg: load probe: %w", err)
+	}
+	tr, err := load.Synthesize(spec, 0)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: load probe: %w", err)
+	}
+	creates, retargets, evicts := tr.Counts()
+
+	samples := o.PerfSamples
+	if samples > 2 || o.Quick {
+		samples = 1
+	}
+	createP95 := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		base, stop, err := load.StartLocal(server.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: load probe: %w", err)
+		}
+		rep, rerr := load.Replay(tr, spec, load.Options{
+			BaseURL: base, Speed: 4, LateBudget: load.LateBudget(-1),
+		})
+		serr := stop()
+		if rerr != nil {
+			return nil, fmt.Errorf("benchreg: load probe replay: %w", rerr)
+		}
+		if serr != nil {
+			return nil, fmt.Errorf("benchreg: load probe shutdown: %w", serr)
+		}
+		if rep.FailedTotal > 0 {
+			return nil, fmt.Errorf("benchreg: load probe: server rejected %d operations (first: %s)",
+				rep.FailedTotal, rep.FailSample)
+		}
+		if rep.Leaked > 0 {
+			return nil, fmt.Errorf("benchreg: load probe leaked %d tenants: %v", rep.Leaked, rep.LeakedIDs)
+		}
+		cs := rep.OpStat(load.OpCreate)
+		if cs == nil || cs.N != creates {
+			return nil, fmt.Errorf("benchreg: load probe: create count %v, want %d", cs, creates)
+		}
+		createP95 = append(createP95, cs.P95MS)
+	}
+
+	return []Metric{
+		newMetric("load_trace_events", "events", StatMedian, Exact, false,
+			[]float64{float64(len(tr.Events))}),
+		newMetric("load_trace_creates", "tenants", StatMedian, Exact, false,
+			[]float64{float64(creates)}),
+		newMetric("load_trace_retargets", "ops", StatMedian, Exact, false,
+			[]float64{float64(retargets)}),
+		newMetric("load_trace_evicts", "ops", StatMedian, Exact, false,
+			[]float64{float64(evicts)}),
+		newMetric("load_replay_create_p95_ms", "ms", StatMin, Perf, false, createP95),
+	}, nil
+}

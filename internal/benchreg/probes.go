@@ -285,6 +285,16 @@ func Run(o Options) (*Baseline, error) {
 				[]float64{sres.BGThroughput}),
 		)
 	}
+
+	// --- Load generator (Exact counts + Perf latency) ----------------------
+	// Appended last, on an entirely fresh server/runner stack, so every
+	// metric above stays byte-identical to baselines recorded before the
+	// load probe existed.
+	lm, err := loadProbe(o)
+	if err != nil {
+		return nil, err
+	}
+	b.Metrics = append(b.Metrics, lm...)
 	return b, nil
 }
 

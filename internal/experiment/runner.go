@@ -567,13 +567,13 @@ func (r *Runner) RunMixes(mixes []Mix) ([]*MixResult, error) {
 	return out, nil
 }
 
-// fanOut runs fn(0), …, fn(n-1) on goroutines, at most maxParallel at a
+// fanOut runs fn(0), …, fn(n-1) on goroutines, at most MaxParallel at a
 // time, and waits for all of them. It is the one bounded fan-out every
 // concurrent sweep (mixes, policy sweeps, resilience jobs, prediction
 // probes) goes through: each fn owns slot i of its caller's result/error
 // slices, so no synchronization beyond the barrier is needed.
 func fanOut(n int, fn func(i int)) {
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, MaxParallel())
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -588,17 +588,17 @@ func fanOut(n int, fn func(i int)) {
 }
 
 // warnMaxParallel limits the bad-DIRIGENT_MAX_PARALLEL warning to one line
-// per process (maxParallel is called once per sweep).
+// per process (MaxParallel is called once per sweep).
 var warnMaxParallel sync.Once
 
-// maxParallel is the fan-out width: the DIRIGENT_MAX_PARALLEL environment
+// MaxParallel is the fan-out width: the DIRIGENT_MAX_PARALLEL environment
 // variable when set, otherwise the host CPU count. Results are deterministic
 // regardless of the width — the knob only trades wall-clock time against
 // load (e.g. capping a shared CI box, or widening past GOMAXPROCS when runs
 // block on nothing). Values below 1 are clamped to 1 — a zero-capacity
 // fan-out semaphore would block every sweep goroutine forever — and
 // unparsable values fall back to the CPU count; both warn once on stderr.
-func maxParallel() int {
+func MaxParallel() int {
 	if s := os.Getenv("DIRIGENT_MAX_PARALLEL"); s != "" {
 		n, err := strconv.Atoi(s)
 		switch {

@@ -310,20 +310,20 @@ func TestRunConfigsStaticBothFallback(t *testing.T) {
 // deadlock every sweep), unparsable values fall back to GOMAXPROCS.
 func TestMaxParallelEnv(t *testing.T) {
 	t.Setenv("DIRIGENT_MAX_PARALLEL", "3")
-	if got := maxParallel(); got != 3 {
-		t.Errorf("maxParallel with env 3 = %d", got)
+	if got := MaxParallel(); got != 3 {
+		t.Errorf("MaxParallel with env 3 = %d", got)
 	}
 	for _, nonpos := range []string{"0", "-2"} {
 		t.Setenv("DIRIGENT_MAX_PARALLEL", nonpos)
-		if got := maxParallel(); got != 1 {
-			t.Errorf("maxParallel with env %q = %d, want clamp to 1", nonpos, got)
+		if got := MaxParallel(); got != 1 {
+			t.Errorf("MaxParallel with env %q = %d, want clamp to 1", nonpos, got)
 		}
 	}
 	def := runtime.GOMAXPROCS(0)
 	for _, bad := range []string{"", "many"} {
 		t.Setenv("DIRIGENT_MAX_PARALLEL", bad)
-		if got := maxParallel(); got != def {
-			t.Errorf("maxParallel with env %q = %d, want GOMAXPROCS %d", bad, got, def)
+		if got := MaxParallel(); got != def {
+			t.Errorf("MaxParallel with env %q = %d, want GOMAXPROCS %d", bad, got, def)
 		}
 	}
 	// The clamp must make the fan-out safe end-to-end: under the previously

@@ -1,0 +1,47 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// CheckDeterminism synthesizes the spec twice and fails unless the JSONL
+// encodings are byte-identical — the property CI gates. It also checks that
+// a different seed produces a different trace, so a pass is never vacuous.
+func CheckDeterminism(s Spec, seed uint64) error {
+	a, err := Synthesize(s, seed)
+	if err != nil {
+		return err
+	}
+	b, err := Synthesize(s, seed)
+	if err != nil {
+		return err
+	}
+	ab, bb := a.Encode(), b.Encode()
+	if !bytes.Equal(ab, bb) {
+		return fmt.Errorf("load: spec %s is not deterministic: two syntheses with the same seed differ (%d vs %d bytes)",
+			s.Name, len(ab), len(bb))
+	}
+	effective := seed
+	if effective == 0 {
+		effective = s.Seed
+	}
+	c, err := Synthesize(s, effective+1)
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(ab, c.Encode()) {
+		return fmt.Errorf("load: spec %s: a different seed produced an identical trace — the determinism check is vacuous", s.Name)
+	}
+	return nil
+}
+
+// LateBudget converts a CLI milliseconds value to the Options.LateBudget
+// convention: 0 keeps the default, negative disables dropping.
+func LateBudget(ms float64) time.Duration {
+	if ms < 0 {
+		return -1
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}

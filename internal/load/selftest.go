@@ -1,0 +1,117 @@
+package load
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"dirigent/internal/server"
+)
+
+// selfTestSpec is a tiny but fully featured spec: bursty arrivals, two
+// weighted templates across configurations, retargets, and a max_live cap
+// tight enough to exercise suppression.
+func selfTestSpec() Spec {
+	return Spec{
+		Name:             "load-selftest",
+		Seed:             1905,
+		DurationS:        3,
+		Arrival:          ArrivalSpec{Model: ModelBursty, RatePerS: 4, BurstFactor: 2, OnS: 0.5, OffS: 0.5},
+		Lifetime:         LifetimeSpec{MeanS: 1, MinS: 0.1},
+		RetargetRatePerS: 1,
+		MaxLive:          6,
+		Tenants: []TenantTemplate{
+			{
+				Name: "rt", Weight: 3,
+				Mix:        MixSpec{FG: []string{"ferret"}, BG: []string{"pca"}},
+				TargetMS:   []float64{1500},
+				Executions: 6,
+			},
+			{
+				Name: "base", Weight: 1, Config: "Baseline",
+				Mix:        MixSpec{FG: []string{"ferret"}, BG: []string{"pca"}},
+				TargetMS:   []float64{1500},
+				Executions: 6,
+			},
+		},
+	}
+}
+
+// SelfTest proves the load gates can fail before CI trusts them green:
+//
+//  1. Trace determinism — the same spec and seed must serialize to
+//     byte-identical JSONL twice, and a different seed must produce a
+//     different trace (so the byte comparison is not vacuously true).
+//  2. The zero-drop gate — a replay strangled to one in-flight operation
+//     with a zero late budget must report dropped events.
+//  3. A sane replay — default settings against an in-process server must
+//     finish with zero drops and zero leaked tenants.
+func SelfTest(logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	spec := selfTestSpec()
+
+	logf("load selftest: trace determinism")
+	tr1, err := Synthesize(spec, 0)
+	if err != nil {
+		return fmt.Errorf("load: selftest synthesize: %w", err)
+	}
+	tr2, err := Synthesize(spec, 0)
+	if err != nil {
+		return fmt.Errorf("load: selftest synthesize (repeat): %w", err)
+	}
+	if !bytes.Equal(tr1.Encode(), tr2.Encode()) {
+		return errors.New("load: selftest: same seed produced different traces")
+	}
+	other, err := Synthesize(spec, spec.Seed+1)
+	if err != nil {
+		return fmt.Errorf("load: selftest synthesize (other seed): %w", err)
+	}
+	if bytes.Equal(tr1.Encode(), other.Encode()) {
+		return errors.New("load: selftest: different seeds produced identical traces — the determinism check cannot fail")
+	}
+	if len(tr1.Events) == 0 {
+		return errors.New("load: selftest: synthesized trace is empty")
+	}
+
+	base, stop, err := StartLocal(server.Config{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stop() }()
+
+	logf("load selftest: strangled replay must drop events")
+	strangled, err := Replay(tr1, spec, Options{
+		BaseURL:     base,
+		Speed:       20,
+		MaxInFlight: 1,
+		LateBudget:  time.Nanosecond,
+	})
+	if err != nil {
+		return fmt.Errorf("load: selftest strangled replay: %w", err)
+	}
+	if strangled.DroppedTotal == 0 {
+		return errors.New("load: selftest: zero-late-budget replay dropped nothing — the zero-drop gate cannot fail")
+	}
+	if strangled.Leaked != 0 {
+		return fmt.Errorf("load: selftest: strangled replay leaked %d tenants (drain must clean up even under drops)", strangled.Leaked)
+	}
+
+	logf("load selftest: sane replay must be clean")
+	rep, err := Replay(tr1, spec, Options{BaseURL: base, Speed: 4})
+	if err != nil {
+		return fmt.Errorf("load: selftest replay: %w", err)
+	}
+	if rep.DroppedTotal != 0 || rep.FailedTotal != 0 {
+		return fmt.Errorf("load: selftest: clean replay dropped %d / failed %d (first: %s)",
+			rep.DroppedTotal, rep.FailedTotal, rep.FailSample)
+	}
+	if rep.Leaked != 0 {
+		return fmt.Errorf("load: selftest: clean replay leaked %d tenants: %v", rep.Leaked, rep.LeakedIDs)
+	}
+	logf("load selftest: ok (%d events, create p95 %.1f ms)",
+		rep.TraceEvents, rep.OpStat(OpCreate).P95MS)
+	return nil
+}

@@ -2,9 +2,6 @@ package scenario
 
 import (
 	"fmt"
-	"os"
-	"runtime"
-	"strconv"
 	"sync"
 	"time"
 
@@ -195,13 +192,13 @@ func mixLabel(m MixSpec) string {
 }
 
 // RunSuite executes every spec concurrently (bounded by
-// DIRIGENT_MAX_PARALLEL, like the experiment sweeps) and returns results
-// in spec order. The first run error aborts the suite — an unrunnable
-// scenario is a broken gate, not a failed goal.
+// experiment.MaxParallel, the shared DIRIGENT_MAX_PARALLEL machinery) and
+// returns results in spec order. The first run error aborts the suite — an
+// unrunnable scenario is a broken gate, not a failed goal.
 func RunSuite(specs []Spec) (*SuiteResult, error) {
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, suiteParallel())
+	sem := make(chan struct{}, experiment.MaxParallel())
 	var wg sync.WaitGroup
 	for i := range specs {
 		wg.Add(1)
@@ -225,20 +222,4 @@ func RunSuite(specs []Spec) (*SuiteResult, error) {
 		}
 	}
 	return sr, nil
-}
-
-// suiteParallel mirrors the experiment package's fan-out rule: the
-// DIRIGENT_MAX_PARALLEL environment variable when positive, otherwise the
-// host CPU count. Results are deterministic regardless of the width.
-func suiteParallel() int {
-	if s := os.Getenv("DIRIGENT_MAX_PARALLEL"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
-		}
-	}
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		return 1
-	}
-	return n
 }

@@ -20,11 +20,11 @@
 //
 // The API surface (all under /v1):
 //
-//	POST   /v1/tenants               create a tenant (mix, config, targets, seed, fault plan)
+//	POST   /v1/tenants               create a tenant (mix, config, machine class, targets, seed, fault plan)
 //	GET    /v1/tenants               list tenant stats
 //	GET    /v1/tenants/{id}          one tenant's stats
 //	DELETE /v1/tenants/{id}          stop and remove a tenant
-//	GET    /v1/tenants/{id}/result   final RunResult (once the run completes)
+//	GET    /v1/tenants/{id}/result   final RunResult (?partial=1 snapshots mid-run)
 //	POST   /v1/tenants/{id}/targets  retarget one stream's deadline mid-run
 //	POST   /v1/tenants/{id}/fg       admit a foreground stream mid-run
 //	DELETE /v1/tenants/{id}/fg/{stream}  evict a foreground stream
@@ -32,6 +32,15 @@
 //	DELETE /v1/tenants/{id}/bg/{task}    evict a background worker
 //	GET    /v1/tenants/{id}/events   live telemetry (JSONL, or SSE via Accept/format)
 //	GET    /v1/healthz               liveness + tenant count
+//
+// Status-code contract: 400 rejects malformed or invalid requests (unknown
+// config, policy, or machine class; wrong target count); 404 an unknown
+// tenant; 409 an operation the simulation state refuses (e.g. retargeting
+// a configuration with no runtime); and 503 means "not now" — the tenant
+// limit is reached, the server is shutting down, or a worker's command
+// queue timed out. Load generators treat 503 as shed-or-retry-later; it is
+// capacity, not client misbehavior, which is why the tenant limit does not
+// answer 429.
 //
 // cmd/dirigent-serve wires the server to an address with request limits and
 // graceful shutdown (drain tenant workers, flush subscriber streams).

@@ -14,6 +14,7 @@ import (
 	"dirigent/internal/config"
 	"dirigent/internal/experiment"
 	"dirigent/internal/fault"
+	"dirigent/internal/machine"
 	"dirigent/internal/policy"
 	"dirigent/internal/sched"
 	"dirigent/internal/sim"
@@ -71,16 +72,23 @@ type Server struct {
 	tenants map[string]*Tenant
 	nextID  int
 	closed  bool
+
+	// classRunners lazily clones the base runner per non-default machine
+	// class (a runner's profile cache is class-keyed, but its MachineClass
+	// field is not per-tenant state, so each class needs its own runner).
+	classMu      sync.Mutex
+	classRunners map[string]*experiment.Runner
 }
 
 // New builds a server ready to serve requests.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		runner:  cfg.Runner,
-		mux:     http.NewServeMux(),
-		tenants: map[string]*Tenant{},
+		cfg:          cfg,
+		runner:       cfg.Runner,
+		mux:          http.NewServeMux(),
+		tenants:      map[string]*Tenant{},
+		classRunners: map[string]*experiment.Runner{},
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/tenants", s.handleCreate)
@@ -160,6 +168,9 @@ type CreateTenantRequest struct {
 	// internal/policy name: dirigent, rtgang, cordlike). Empty defaults to
 	// dirigent. Only meaningful for runtime configurations.
 	Policy string `json:"policy,omitempty"`
+	// MachineClass selects the simulated hardware (machine.ClassNames).
+	// Empty means the server runner's class (the xeon-e5 default).
+	MachineClass string `json:"machine_class,omitempty"`
 	// TargetsNS are per-FG-stream latency targets in nanoseconds; required
 	// for runtime configurations (DirigentFreq, Dirigent).
 	TargetsNS []int64 `json:"targets_ns,omitempty"`
@@ -238,6 +249,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("unknown policy %q (valid: %s)", req.Policy, strings.Join(policy.Names(), ", ")))
 		return
 	}
+	if req.MachineClass != "" {
+		// machine.ClassConfig's error already lists the valid classes.
+		if _, err := machine.ClassConfig(req.MachineClass); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	runner := s.runnerFor(req.MachineClass)
 	if cfg.UseRuntime && len(req.TargetsNS) != len(mix.FG) {
 		writeErr(w, http.StatusBadRequest,
 			fmt.Errorf("configuration %s needs %d targets_ns, got %d", cfg.Name, len(mix.FG), len(req.TargetsNS)))
@@ -262,7 +281,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Faults != nil {
 		params.Faults = *req.Faults
 	}
-	limit := sim.Time(s.runner.TimeLimit)
+	limit := sim.Time(runner.TimeLimit)
 	if req.TimeLimitMS > 0 {
 		limit = sim.Time(req.TimeLimitMS * float64(time.Millisecond))
 	}
@@ -278,7 +297,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(s.tenants) >= s.cfg.MaxTenants {
 		s.mu.Unlock()
-		writeErr(w, http.StatusTooManyRequests,
+		// 503, not 429: the limit is server capacity, not client rate — a
+		// well-behaved load generator should shed or retry-later, exactly
+		// as it would during shutdown. (Earlier releases answered 429.)
+		writeErr(w, http.StatusServiceUnavailable,
 			fmt.Errorf("tenant limit reached (%d)", s.cfg.MaxTenants))
 		return
 	}
@@ -289,7 +311,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	bcast := newBroadcaster()
 	params.Extra = bcast
-	sess, err := s.runner.StartSession(mix, params)
+	sess, err := runner.StartSession(mix, params)
 	if err != nil {
 		s.mu.Lock()
 		delete(s.tenants, id)
@@ -368,7 +390,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// ?partial=1 collects whatever statistics exist right now instead of
+	// refusing mid-run — the snapshot a load generator takes before it
+	// evicts a tenant. Collection is read-only and runs on the worker
+	// goroutine, so it cannot race the simulation.
+	partial := r.URL.Query().Get("partial") == "1" || r.URL.Query().Get("partial") == "true"
 	v, err := t.do(func() (any, error) {
+		if partial && (t.state == StateRunning || t.result == nil) {
+			return t.sess.Collect()
+		}
 		if t.state == StateRunning {
 			return nil, fmt.Errorf("tenant %s still running (%d/%d executions)", t.id, t.sess.Completed(), t.goal)
 		}
@@ -609,6 +639,34 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---- helpers -----------------------------------------------------------
+
+// runnerFor returns the runner for a tenant's machine class: the shared
+// base runner for the empty/default class, otherwise a per-class clone of
+// its sizing knobs created on first use. Clones share nothing but the
+// configuration — each keeps its own profile cache, which is fine because
+// profiles are class-specific anyway.
+func (s *Server) runnerFor(class string) *experiment.Runner {
+	if class == "" || class == s.runner.MachineClass ||
+		(class == machine.DefaultClass && s.runner.MachineClass == "") {
+		return s.runner
+	}
+	s.classMu.Lock()
+	defer s.classMu.Unlock()
+	r, ok := s.classRunners[class]
+	if !ok {
+		r = experiment.NewRunner()
+		r.Executions = s.runner.Executions
+		r.Warmup = s.runner.Warmup
+		r.CalibExecutions = s.runner.CalibExecutions
+		r.ConvergenceWarmup = s.runner.ConvergenceWarmup
+		r.TimeLimit = s.runner.TimeLimit
+		r.CompatStepping = s.runner.CompatStepping
+		r.Recorder = s.runner.Recorder
+		r.MachineClass = class
+		s.classRunners[class] = r
+	}
+	return r
+}
 
 // tenant resolves {id} and writes a 404 when absent.
 func (s *Server) tenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {

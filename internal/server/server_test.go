@@ -372,8 +372,8 @@ func TestCreateValidation(t *testing.T) {
 	}
 	// Tenant limit.
 	ok.Mix.Name = "v2 ferret pca"
-	if code, _ := doJSON(t, client, "POST", ts.URL+"/v1/tenants", ok, nil); code != http.StatusTooManyRequests {
-		t.Fatalf("over-limit create: %d, want 429", code)
+	if code, _ := doJSON(t, client, "POST", ts.URL+"/v1/tenants", ok, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit create: %d, want 503", code)
 	}
 	if code, _ := doJSON(t, client, "GET", ts.URL+"/v1/tenants/t999", nil, nil); code != http.StatusNotFound {
 		t.Fatal("unknown tenant should 404")

@@ -6,6 +6,8 @@
 #                             # + the shrunk fault-injection (resilience) smoke
 #                             # + the policy-sweep smoke (every QoS policy end to end)
 #                             # + the dirigent-serve API smoke (-selfcheck)
+#                             # + the load-generator smoke (seeded 5 s open-loop
+#                             #   churn: trace determinism, zero drops, zero leaks)
 #   scripts/ci.sh -short      # same legs, but skip the long end-to-end tests
 #   scripts/ci.sh -bench      # additionally run the perf/QoS regression gate
 #                             # (dirigent-ci -check against the latest BENCH_<n>.json)
@@ -64,6 +66,13 @@ run_race() { go test -race $short ./internal/...; }
 run_resilience() { go run ./cmd/dirigent-bench -resilience -short >/dev/null; }
 run_policies() { go run ./cmd/dirigent-bench -policies -short >/dev/null; }
 run_serve() { go run ./cmd/dirigent-serve -selfcheck >/dev/null; }
+# Seeded 5 s churn replayed in-process at 4x: -check-determinism gates the
+# byte-identical synthesis, -fail-on-drops plus the built-in leak check gate
+# the structural replay invariants. Latencies are reported, never gated.
+run_load() {
+	go run ./cmd/dirigent-load -spec loadspecs/smoke.json -seed 42 \
+		-check-determinism -inproc -speed 4 -fail-on-drops -quiet >/dev/null
+}
 
 leg "gofmt -l" gofmt_clean
 leg "go vet ./..." go vet ./...
@@ -75,6 +84,7 @@ leg "go test -race ./internal/... $short" run_race
 leg "dirigent-bench -resilience -short (fault-injection smoke)" run_resilience
 leg "dirigent-bench -policies -short (policy-sweep smoke)" run_policies
 leg "dirigent-serve -selfcheck (server API smoke)" run_serve
+leg "dirigent-load (load-generator smoke)" run_load
 
 if $bench; then
 	leg "dirigent-ci -check" go run ./cmd/dirigent-ci -check
